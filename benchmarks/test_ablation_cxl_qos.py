@@ -1,0 +1,63 @@
+"""Ablation: CXL link contention and QoS (§6, "QoS control for CXL bandwidth").
+
+A colocated bandwidth-intensive use case (the paper's example: an OLAP
+database scanning CXL-resident tables) shares the backend host's x8 CXL link
+with Oasis's packet DMA.  Moderate loads (the 2-3 GB/s of §2.3's deployed
+use cases) are harmless; an oversubscribed hog makes DMA backlog grow and
+inflates datapath latency; an Intel RDT-style bandwidth cap -- §6's proposed
+mitigation -- restores it.
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.core.pod import CXLPod
+from repro.net.packet import make_ip
+from repro.workloads.echo import EchoClient, EchoServer
+from repro.workloads.interference import CXLBandwidthLoad
+
+SERVER_IP = make_ip(10, 0, 0, 1)
+
+
+def _echo_percentiles(hog_gbps, cap=None, duration=0.05):
+    pod = CXLPod(mode="oasis")
+    h0, h1 = pod.add_host(), pod.add_host()
+    nic = pod.add_nic(h0)
+    inst = pod.add_instance(h1, ip=SERVER_IP, nic=nic)
+    EchoServer(pod.sim, inst)
+    client = pod.add_external_client(ip=make_ip(10, 0, 9, 1))
+    ec = EchoClient(pod.sim, client, SERVER_IP, packet_size=1500,
+                    rate_pps=20_000)
+    if hog_gbps:
+        CXLBandwidthLoad(pod.sim, h0, hog_gbps, rdt_cap_gbps=cap).start()
+    ec.start(duration)
+    pod.run(duration + 0.03)
+    pod.stop()
+    return ec.stats.percentile_us(50), ec.stats.percentile_us(99)
+
+
+def test_ablation_cxl_qos(benchmark):
+    def run():
+        rows = []
+        results = {}
+        for label, hog, cap in (
+            ("no colocated load", 0.0, None),
+            ("OLTP-like (2 GB/s)", 2.0, None),
+            ("OLAP-like (20 GB/s)", 20.0, None),
+            ("oversubscribed (40 GB/s)", 40.0, None),
+            ("oversubscribed + RDT cap 15", 40.0, 15.0),
+        ):
+            p50, p99 = _echo_percentiles(hog, cap)
+            rows.append((label, p50, p99))
+            results[label] = p99
+        print(render_table(
+            ["colocated CXL load", "echo p50 us", "echo p99 us"], rows,
+            title="Ablation: CXL link QoS (x8 link, ~29 GB/s/direction)"))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert results["OLTP-like (2 GB/s)"] < results["no colocated load"] + 2.0
+    assert results["oversubscribed (40 GB/s)"] > \
+        results["no colocated load"] + 10.0
+    assert results["oversubscribed + RDT cap 15"] < \
+        results["oversubscribed (40 GB/s)"] / 2

@@ -1,0 +1,23 @@
+"""Ablation: sharded multi-channel scaling (§6, "Single-threaded datapath").
+
+The paper's claim that "message channel throughput scales linearly with
+additional channels", measured: aggregate saturation MOp/s vs shard count
+(one sender/receiver core pair per shard).
+"""
+
+from repro.analysis.report import render_table
+from repro.channel.sharded import sharded_saturation
+
+
+def test_ablation_sharded_scaling(benchmark):
+    def run():
+        results = sharded_saturation(shard_counts=(1, 2, 4, 8),
+                                     n_messages=8000, slots=2048)
+        rows = [(k, v, v / results[1]) for k, v in results.items()]
+        print(render_table(
+            ["shards", "aggregate MOp/s", "speedup"], rows,
+            title="Ablation: sharded channels (paper: linear scaling)"))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert results[8] > 6 * results[1]    # near-linear

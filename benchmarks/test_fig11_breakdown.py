@@ -1,0 +1,17 @@
+"""Benchmark: Figure 11 -- overhead breakdown.
+
+Paper: I/O buffers in CXL cost almost nothing; cross-host message passing is
+nearly all of the overhead.
+"""
+
+from repro.experiments import fig11
+
+
+def test_fig11_breakdown(benchmark):
+    results = benchmark.pedantic(fig11.main, rounds=1, iterations=1)
+    for size, loads in results.items():
+        cell = loads["low"]
+        buffers = cell["local-cxl-buffers"]["p50"] - cell["local"]["p50"]
+        messaging = cell["oasis"]["p50"] - cell["local-cxl-buffers"]["p50"]
+        assert buffers < 1.5
+        assert messaging > buffers

@@ -1,0 +1,14 @@
+"""Benchmark: Figure 14 -- memcached P99 through a NIC failover.
+
+Paper: P99 spikes at the failure and recovers within ~133 ms (longer than
+UDP because the reliable transport delivers the retransmitted backlog late).
+"""
+
+from repro.experiments import fig14
+
+
+def test_fig14_failover_memcached(benchmark):
+    results = benchmark.pedantic(fig14.main, rounds=1, iterations=1)
+    assert 50.0 <= results["recovery_ms"] <= 300.0
+    assert results["recovery_ms"] > 38.0
+    assert results["retransmits"] > 0

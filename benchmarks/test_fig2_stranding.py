@@ -1,0 +1,15 @@
+"""Benchmark: Figure 2 -- stranded NIC/SSD resources vs pod size.
+
+Paper: pooling in pods of 8 cuts stranded NIC bandwidth from 27 % to the low
+teens and stranded SSD capacity from 33 % to single digits.
+"""
+
+from repro.experiments import fig2
+
+
+def test_fig2_stranding(benchmark):
+    results = benchmark.pedantic(fig2.main, rounds=1, iterations=1)
+    nic = results["nic"]
+    ssd = results["ssd"]
+    assert nic[-1].stranded_fraction < nic[0].stranded_fraction
+    assert ssd[-1].stranded_fraction < ssd[0].stranded_fraction

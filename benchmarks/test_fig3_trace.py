@@ -1,0 +1,13 @@
+"""Benchmark: Figure 3 -- bursty inbound rack traffic at 10 us granularity.
+
+Paper: host 1 peaks near 40 Gbps with P99 < 3 % and P99.99 ~39 %.
+"""
+
+from repro.experiments import fig3
+
+
+def test_fig3_trace(benchmark):
+    results = benchmark.pedantic(fig3.main, rounds=1, iterations=1)
+    host1 = results["hosts"][0]
+    assert host1["p99_util"] < 0.05
+    assert host1["p9999_util"] > 0.2

@@ -1,0 +1,15 @@
+"""Benchmark: Figure 8 -- Oasis overhead on four web applications.
+
+Paper: +4-7 us at P50/P90/P99 under low and moderate load.
+"""
+
+from repro.experiments import fig8
+
+
+def test_fig8_webapps(benchmark):
+    results = benchmark.pedantic(fig8.main, rounds=1, iterations=1)
+    for app, loads in results.items():
+        for load_name in ("low", "moderate"):
+            cell = loads[load_name]
+            delta = cell["oasis"]["p50"] - cell["baseline"]["p50"]
+            assert 1.5 <= delta <= 10.0, (app, load_name, delta)

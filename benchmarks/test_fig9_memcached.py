@@ -1,0 +1,14 @@
+"""Benchmark: Figure 9 -- Oasis overhead on memcached.
+
+Paper: consistently about +4-7 us at all percentiles.
+"""
+
+from repro.experiments import fig9
+
+
+def test_fig9_memcached(benchmark):
+    results = benchmark.pedantic(fig9.main, rounds=1, iterations=1)
+    for load_name in ("low", "moderate"):
+        cell = results[load_name]
+        delta = cell["oasis"]["p50"] - cell["baseline"]["p50"]
+        assert 1.5 <= delta <= 10.0, (load_name, delta)

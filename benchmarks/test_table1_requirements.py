@@ -1,0 +1,8 @@
+"""Benchmark: Table 1 -- model device parameters vs the paper's targets."""
+
+from repro.experiments import table1
+
+
+def test_table1_requirements(benchmark):
+    results = benchmark.pedantic(table1.main, rounds=1, iterations=1)
+    assert results["ssd"]["bandwidth_gbs"] == 5.0

@@ -1,0 +1,12 @@
+"""Benchmark: Table 2 -- NIC bandwidth utilization at P99.99.
+
+Paper: per-host 0-79 %, aggregated 10 % (rack A) / 20 % (rack B).
+"""
+
+from repro.experiments import table2
+
+
+def test_table2_utilization(benchmark):
+    racks = benchmark.pedantic(table2.main, rounds=1, iterations=1)
+    assert racks["A"]["aggregated"] < 0.2
+    assert racks["B"]["aggregated"] < 0.35

@@ -1,0 +1,15 @@
+"""Benchmark: Table 3 -- CXL link bandwidth under varying network load.
+
+Paper: idle 0.2 GB/s; busy 75 B 2.3 GB/s; busy 1500 B 13.5 GB/s with ~89 %
+of traffic being payload buffers.
+"""
+
+from repro.experiments import table3
+
+
+def test_table3_cxl_bandwidth(benchmark):
+    results = benchmark.pedantic(table3.main, rounds=1, iterations=1)
+    assert abs(results["idle"]["total_gbps"] - 0.2) < 0.1
+    row = results["busy_1500"]
+    assert row["payload_gbps"] / row["total_gbps"] > 0.7
+    assert 8.0 <= row["total_gbps"] <= 20.0

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""NIC multiplexing demo (§5.2, Figure 12): two hosts, one NIC.
+
+Replays bursty production-like traffic (calibrated to the paper's rack A
+captures) against two hosts.  Baseline: each host uses its own 100 Gbit NIC.
+Multiplexed: both share host 1's NIC through Oasis.  Bursty, non-coincident
+traffic means the shared NIC absorbs both loads with negligible interference
+while its utilization roughly doubles.
+
+Run:  python examples/nic_multiplexing.py        (about a minute)
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.workloads.replay import run_trace_replay
+from repro.workloads.traces import RACK_A_PARAMS, generate_trace
+
+DURATION = 0.2   # seconds of trace to replay
+
+
+def main():
+    traces = [
+        generate_trace(replace(RACK_A_PARAMS[i], duration_s=DURATION),
+                       np.random.default_rng(50 + i))
+        for i in range(2)
+    ]
+    print(f"replaying {sum(len(t.times) for t in traces)} packets "
+          f"({DURATION * 1000:.0f} ms of rack A hosts 1-2 traffic)\n")
+
+    baseline = run_trace_replay(traces, multiplexed=False)
+    multiplexed = run_trace_replay(traces, multiplexed=True)
+
+    rows = []
+    for i in range(2):
+        rows.append((
+            f"host {i + 1}",
+            baseline.per_host[i]["p50"], multiplexed.per_host[i]["p50"],
+            baseline.per_host[i]["p99"], multiplexed.per_host[i]["p99"],
+        ))
+    print(render_table(
+        ["", "2-NIC p50 us", "shared p50 us", "2-NIC p99 us", "shared p99 us"],
+        rows,
+        title="Round-trip latency: dedicated NICs vs one shared NIC",
+        digits=1,
+    ))
+    print()
+    print(render_table(
+        ["setup", "aggregated P99.99 utilization %", "packets lost"],
+        [
+            ("baseline (one NIC per host)", baseline.nic_p9999_util * 100,
+             baseline.lost),
+            ("multiplexed (one NIC, two hosts)",
+             multiplexed.nic_p9999_util * 100, multiplexed.lost),
+        ],
+        title="Figure 12: utilization doubles with negligible interference "
+              "(paper: 18 % -> 37 %)",
+        digits=1,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Shim for environments without the `wheel` package (pip -e fallback)."""
+from setuptools import setup
+
+setup()

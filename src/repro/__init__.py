@@ -1,0 +1,43 @@
+"""Oasis reproduction: pooling PCIe devices over CXL memory pools.
+
+Python reproduction of "Oasis: Pooling PCIe Devices Over CXL to Boost
+Utilization" (SOSP '25) as a discrete-event, functional simulation.  See
+DESIGN.md for the system inventory and EXPERIMENTS.md for the per-figure
+reproduction results.
+"""
+
+from .config import (
+    CacheTimings,
+    CXLConfig,
+    DatapathConfig,
+    FailoverConfig,
+    HostConfig,
+    NICConfig,
+    OasisConfig,
+    SSDConfig,
+    TransportConfig,
+)
+from .core.pod import CXLPod
+from .host.instance import Instance, ResourceSpec
+from .net.packet import ip_str, mac_str, make_ip, make_mac
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CXLPod",
+    "OasisConfig",
+    "CXLConfig",
+    "CacheTimings",
+    "NICConfig",
+    "SSDConfig",
+    "DatapathConfig",
+    "FailoverConfig",
+    "TransportConfig",
+    "HostConfig",
+    "Instance",
+    "ResourceSpec",
+    "make_ip",
+    "make_mac",
+    "ip_str",
+    "mac_str",
+]

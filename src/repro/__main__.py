@@ -1,0 +1,45 @@
+"""Command-line entry point: ``python -m repro [experiment ...]``.
+
+With no arguments, lists the available experiments; with names (e.g.
+``fig6 table3`` or ``all``), runs them and prints the paper-style tables.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import __version__
+from .experiments import runner
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    by_name = {
+        module.__name__.rsplit(".", 1)[-1]: (title, module)
+        for title, module in runner.ALL_EXPERIMENTS
+    }
+    if not argv or argv[0] in ("-h", "--help"):
+        print(f"repro {__version__} -- Oasis (SOSP '25) reproduction")
+        print("usage: python -m repro <experiment ...|all>\n")
+        print("experiments:")
+        for name, (title, _) in by_name.items():
+            print(f"  {name:<8} {title}")
+        return 0
+    if argv == ["all"]:
+        runner.main()
+        return 0
+    unknown = [name for name in argv if name not in by_name]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(by_name)}", file=sys.stderr)
+        return 2
+    for name in argv:
+        title, module = by_name[name]
+        print(f"== {title} ==")
+        module.main()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

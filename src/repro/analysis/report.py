@@ -1,0 +1,50 @@
+"""Plain-text table/series renderers for the experiment harness.
+
+Every experiment module prints the same rows/series the paper reports;
+these helpers keep the formatting consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["render_table", "render_series", "fmt"]
+
+
+def fmt(value, digits: int = 2) -> str:
+    """Format numbers compactly; pass strings through."""
+    if isinstance(value, str):
+        return value
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: Optional[str] = None, digits: int = 2) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[fmt(cell, digits) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence, ys: Sequence, x_label: str = "x",
+                  y_label: str = "y", digits: int = 2) -> str:
+    """Render an (x, y) series as the rows a figure would plot."""
+    return render_table([x_label, y_label],
+                        list(zip(xs, ys)), title=name, digits=digits)

@@ -1,0 +1,35 @@
+"""Message channels over non-coherent shared CXL memory (§3.2.2)."""
+
+from .designs import (
+    RECEIVER_DESIGNS,
+    BypassCacheReceiver,
+    InvalidateConsumedReceiver,
+    InvalidatePrefetchedReceiver,
+    NaivePrefetchReceiver,
+    make_receiver,
+)
+from .microbench import ChannelMicrobench, MicrobenchResult, sweep_designs
+from .protocol import ChannelCounters, ChannelReceiver, ChannelSender, TimingHooks
+from .ring import RingLayout, decode_slot, encode_slot
+from .sharded import ShardedChannelGroup, sharded_saturation
+
+__all__ = [
+    "RingLayout",
+    "encode_slot",
+    "decode_slot",
+    "ChannelSender",
+    "ChannelReceiver",
+    "ChannelCounters",
+    "TimingHooks",
+    "BypassCacheReceiver",
+    "NaivePrefetchReceiver",
+    "InvalidateConsumedReceiver",
+    "InvalidatePrefetchedReceiver",
+    "RECEIVER_DESIGNS",
+    "make_receiver",
+    "ChannelMicrobench",
+    "MicrobenchResult",
+    "sweep_designs",
+    "ShardedChannelGroup",
+    "sharded_saturation",
+]

@@ -1,0 +1,157 @@
+"""The four receiver designs benchmarked in Figure 6.
+
+All four share the functional ring protocol from
+:mod:`repro.channel.protocol`; they differ only in *when* they invalidate
+cache lines and whether they prefetch:
+
+① :class:`BypassCacheReceiver` -- prior-work baseline: CLFLUSHOPT + MFENCE
+   before **every** poll, so every poll is a serialised CXL miss
+   (~3 MOp/s in the paper).
+
+② :class:`NaivePrefetchReceiver` -- software-prefetches subsequent lines
+   after every successful poll and invalidates the current line only after an
+   empty poll.  Prefetches of lines already (stale) in the cache are ignored
+   by the hardware, so after the first ring wrap every line fetch degenerates
+   into a serialised invalidate + demand miss (~8.6 MOp/s).
+
+③ :class:`InvalidateConsumedReceiver` -- additionally invalidates a line as
+   soon as all its messages are consumed, unblocking future prefetches
+   (~87 MOp/s), but prefetched-then-stale lines still add an extra
+   invalidate + miss round-trip per message at moderate load (latency bump
+   to ~1.2 us).
+
+④ :class:`InvalidatePrefetchedReceiver` -- the Oasis design: after an empty
+   poll it also invalidates the prefetched-ahead window, so newly arriving
+   messages are found with a single clean miss (~0.6 us at the 14 MOp/s
+   target).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .protocol import ChannelReceiver
+
+__all__ = [
+    "BypassCacheReceiver",
+    "NaivePrefetchReceiver",
+    "InvalidateConsumedReceiver",
+    "InvalidatePrefetchedReceiver",
+    "RECEIVER_DESIGNS",
+    "make_receiver",
+]
+
+
+class BypassCacheReceiver(ChannelReceiver):
+    """① Invalidate + fence before each poll (no CPU caching of the ring)."""
+
+    design = "bypass-cache"
+
+    def poll(self) -> Tuple[Optional[bytes], float]:
+        cost = self._invalidate_line_of(self.next_seq, fenced=True)
+        cost += self.cache.mfence()
+        payload, check_cost = self._check_slot(self.next_seq)
+        cost += check_cost
+        if payload is None:
+            return None, cost
+        cost += self._consume(self.next_seq)
+        return payload, cost
+
+
+class _PrefetchingReceiver(ChannelReceiver):
+    """Common logic for designs ② / ③ / ④."""
+
+    invalidate_consumed = False
+    invalidate_prefetched = False
+
+    def __init__(self, layout, cache, counter_batch=None, timing=None, prefetch_depth=16):
+        super().__init__(layout, cache, counter_batch=counter_batch, timing=timing)
+        self.prefetch_depth = prefetch_depth
+        # Prefetching is only worth its CXL bandwidth when the channel is
+        # actually streaming (§3.2.2 / Table 3: "prefetching is triggered
+        # only when the channel is not idle").  We arm it once a consumption
+        # streak shows messages arriving faster than we drain them.
+        self._streak = 0
+        self._prefetch_threshold = max(2, layout.messages_per_line)
+
+    def poll(self) -> Tuple[Optional[bytes], float]:
+        seq = self.next_seq
+        payload, cost = self._check_slot(seq)
+        if payload is not None:
+            cost += self._consume(seq)
+            self._streak += 1
+            if self.invalidate_consumed and self.layout.is_line_end(seq):
+                # Line fully consumed: drop it (unfenced, off the critical
+                # path) so the next lap's prefetch can bring in fresh data.
+                cost += self._invalidate_line_of(seq, fenced=False)
+            if self._streak >= self._prefetch_threshold:
+                cost += self._prefetch_ahead(self.prefetch_depth)
+            return payload, cost
+
+        # Empty poll: the cached copy of the current line may simply be
+        # stale.  Drop it (fenced, so the re-poll really goes to CXL).
+        self._streak = 0
+        cost += self._invalidate_line_of(seq, fenced=True)
+        cost += self.cache.mfence()
+        if self.invalidate_prefetched:
+            cost += self._invalidate_prefetch_window()
+        return None, cost
+
+    def _invalidate_prefetch_window(self) -> float:
+        """④ only: drop the prefetched-ahead lines that may now be stale."""
+        cost = 0.0
+        per_line = self.layout.messages_per_line
+        depth = min(self.prefetch_depth, self.layout.lines - 1)
+        for i in range(1, depth + 1):
+            seq = self.next_seq + i * per_line
+            line_addr = self.layout.slot_line_addr(seq)
+            if self.cache.contains(line_addr):
+                cost += self.cache.clflush(line_addr, fenced=False, category="message")
+                self.timing.on_invalidate(line_addr // 64)
+        self._reset_prefetch_horizon()
+        return cost
+
+
+class NaivePrefetchReceiver(_PrefetchingReceiver):
+    """② Prefetch, but never invalidate consumed lines."""
+
+    design = "naive-prefetch"
+
+
+class InvalidateConsumedReceiver(_PrefetchingReceiver):
+    """③ ② plus invalidate-once-consumed."""
+
+    design = "invalidate-consumed"
+    invalidate_consumed = True
+
+
+class InvalidatePrefetchedReceiver(_PrefetchingReceiver):
+    """④ ③ plus invalidate the prefetched window after empty polls (Oasis)."""
+
+    design = "invalidate-prefetched"
+    invalidate_consumed = True
+    invalidate_prefetched = True
+
+
+RECEIVER_DESIGNS = {
+    cls.design: cls
+    for cls in (
+        BypassCacheReceiver,
+        NaivePrefetchReceiver,
+        InvalidateConsumedReceiver,
+        InvalidatePrefetchedReceiver,
+    )
+}
+
+
+def make_receiver(design: str, layout, cache, **kwargs) -> ChannelReceiver:
+    """Construct a receiver by Figure 6 design name."""
+    try:
+        cls = RECEIVER_DESIGNS[design]
+    except KeyError:
+        raise ValueError(
+            f"unknown design {design!r}; choose from {sorted(RECEIVER_DESIGNS)}"
+        ) from None
+    if cls is BypassCacheReceiver:
+        kwargs.pop("prefetch_depth", None)
+    return cls(layout, cache, **kwargs)

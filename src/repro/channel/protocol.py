@@ -1,0 +1,282 @@
+"""Sender/receiver protocol for message channels over non-coherent CXL.
+
+Each channel has exactly one sender and one receiver (§3.2.2).  The sender
+writes fixed-size messages into the ring through its own (non-coherent) cache
+and makes them visible with CLWB when a cache line fills or on an explicit
+:meth:`ChannelSender.flush`.  Backpressure uses the 8 B consumed counter:
+
+* the receiver bumps the counter only after consuming a large batch
+  (``capacity / counter_batch_divisor`` messages, §4) and CLWBs it;
+* the sender caches the counter value and re-reads it -- paying
+  CLFLUSHOPT + MFENCE + a CXL miss -- only when the cached value says the
+  ring is full.
+
+Every method returns its CPU cost in nanoseconds.  Receiver poll behaviour is
+design-specific and lives in :mod:`repro.channel.designs`; the common slot
+load / epoch check / counter machinery is here.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..config import CACHE_LINE
+from ..errors import ChannelError
+from ..mem.cache import HostCache
+from .ring import RingLayout, decode_slot, encode_slot
+
+__all__ = ["ChannelSender", "ChannelReceiver", "TimingHooks", "ChannelCounters"]
+
+_COUNTER = struct.Struct("<Q")
+
+
+class TimingHooks:
+    """Callbacks that let a timing harness model memory-level parallelism.
+
+    The functional protocol is timing-agnostic; the Figure 6 microbench
+    injects a subclass that tracks when prefetched lines actually arrive so
+    that a "hit" on a line still in flight stalls the receiver.
+    """
+
+    def on_prefetch_issued(self, line_index: int) -> None:
+        """A PREFETCHT0 actually went out to CXL for ``line_index``."""
+
+    def on_demand_fill(self, line_index: int) -> None:
+        """A demand load missed and fetched ``line_index`` synchronously."""
+
+    def on_invalidate(self, line_index: int) -> None:
+        """The receiver dropped ``line_index`` from its cache."""
+
+    def hit_stall_ns(self, line_index: int) -> float:
+        """Extra stall when touching a cached line that is still in flight."""
+        return 0.0
+
+
+@dataclass
+class ChannelCounters:
+    """Operation counts, for tests and bandwidth accounting."""
+
+    sent: int = 0
+    received: int = 0
+    empty_polls: int = 0
+    counter_refreshes: int = 0
+    counter_updates: int = 0
+    full_stalls: int = 0
+
+
+class ChannelSender:
+    """The producing endpoint of a one-way channel."""
+
+    def __init__(self, layout: RingLayout, cache: HostCache, category: str = "message"):
+        self.layout = layout
+        self.cache = cache
+        self.category = category
+        self.next_seq = 0
+        self._cached_consumed = 0
+        self._dirty_line_addr: Optional[int] = None
+        self.counters = ChannelCounters()
+
+    # -- capacity ------------------------------------------------------------
+
+    @property
+    def free_slots_cached(self) -> int:
+        """Free slots according to the locally cached consumed counter."""
+        return self.layout.slots - (self.next_seq - self._cached_consumed)
+
+    def refresh_consumed(self) -> float:
+        """Re-read the consumed counter from CXL (invalidate + fence + load)."""
+        cost = self.cache.clflush(self.layout.counter_addr, fenced=True, category="counter")
+        cost += self.cache.mfence()
+        raw, load_cost = self.cache.load(self.layout.counter_addr, 8, category="counter")
+        cost += load_cost
+        value = _COUNTER.unpack(raw)[0]
+        if value > self.next_seq:
+            raise ChannelError(
+                f"consumed counter {value} ahead of send sequence {self.next_seq}"
+            )
+        self._cached_consumed = max(self._cached_consumed, value)
+        self.counters.counter_refreshes += 1
+        return cost
+
+    # -- sending ---------------------------------------------------------------
+
+    def try_send(self, payload: bytes) -> Tuple[bool, float]:
+        """Write one message if a slot is free.  Returns ``(sent, cost_ns)``.
+
+        On False the caller should retry later (the ring is full even after a
+        counter refresh).
+        """
+        if len(payload) != self.layout.message_size:
+            raise ChannelError(
+                f"payload must be exactly {self.layout.message_size} B, got {len(payload)}"
+            )
+        cost = 0.0
+        if self.free_slots_cached <= 0:
+            cost += self.refresh_consumed()
+            if self.free_slots_cached <= 0:
+                self.counters.full_stalls += 1
+                return False, cost
+
+        seq = self.next_seq
+        slot = encode_slot(payload, self.layout.expected_epoch(seq))
+        addr = self.layout.slot_addr(seq)
+        cost += self.cache.store(addr, slot, category=self.category)
+        self.next_seq = seq + 1
+        self.counters.sent += 1
+
+        line_addr = addr & ~(CACHE_LINE - 1)
+        if self.layout.is_line_end(seq):
+            cost += self.cache.clwb(line_addr, category=self.category)
+            self._dirty_line_addr = None
+        else:
+            self._dirty_line_addr = line_addr
+        return True, cost
+
+    def flush(self) -> float:
+        """CLWB a partially filled line so receivers can see it (low rate)."""
+        if self._dirty_line_addr is None:
+            return 0.0
+        cost = self.cache.clwb(self._dirty_line_addr, category=self.category)
+        self._dirty_line_addr = None
+        return cost
+
+    def send(self, payload: bytes) -> float:
+        """Send and flush immediately; raises if the ring is full."""
+        ok, cost = self.try_send(payload)
+        if not ok:
+            from ..errors import ChannelFullError
+
+            raise ChannelFullError("message ring full")
+        return cost + self.flush()
+
+
+class ChannelReceiver:
+    """Base class for the consuming endpoint; designs override :meth:`poll`."""
+
+    #: human-readable design name (Figure 6 legend)
+    design = "abstract"
+
+    def __init__(
+        self,
+        layout: RingLayout,
+        cache: HostCache,
+        counter_batch: Optional[int] = None,
+        timing: Optional[TimingHooks] = None,
+    ):
+        self.layout = layout
+        self.cache = cache
+        self.timing = timing or TimingHooks()
+        # §4: update the counter only after consuming half the ring by default.
+        self.counter_batch = counter_batch if counter_batch is not None else max(
+            1, layout.slots // 2
+        )
+        self.next_seq = 0
+        self._consumed_since_update = 0
+        # Highest line-sequence number (seq // messages_per_line, monotonic
+        # across ring wraps) for which a prefetch has been issued.  Real
+        # receivers track their position the same way instead of re-issuing
+        # PREFETCHT0 for the whole window on every poll.
+        self._prefetch_horizon = -1
+        self.counters = ChannelCounters()
+
+    # -- common machinery -------------------------------------------------------
+
+    def _line_index(self, seq: int) -> int:
+        return self.layout.slot_line_addr(seq) // CACHE_LINE
+
+    def _check_slot(self, seq: int) -> Tuple[Optional[bytes], float]:
+        """Load the slot for ``seq``; return (payload, cost) or (None, cost)."""
+        addr = self.layout.slot_addr(seq)
+        line_idx = self._line_index(seq)
+        cost = 0.0
+        was_cached = self.cache.contains(addr)
+        if was_cached:
+            cost += self.timing.hit_stall_ns(line_idx)
+        raw, load_cost = self.cache.load(addr, self.layout.message_size, category="message")
+        cost += load_cost
+        if not was_cached:
+            self.timing.on_demand_fill(line_idx)
+        payload, epoch = decode_slot(raw)
+        if epoch != self.layout.expected_epoch(seq):
+            self.counters.empty_polls += 1
+            cost += self.cache.timings.empty_poll_ns
+            return None, cost
+        return payload, cost
+
+    def _consume(self, seq: int) -> float:
+        """Bookkeeping after a message is accepted."""
+        self.next_seq = seq + 1
+        self.counters.received += 1
+        self._consumed_since_update += 1
+        cost = self.cache.timings.message_cpu_ns
+        if self._consumed_since_update >= self.counter_batch:
+            cost += self._publish_counter()
+        return cost
+
+    def _publish_counter(self) -> float:
+        """Store + CLWB the consumed counter so the sender can reuse slots."""
+        cost = self.cache.store(
+            self.layout.counter_addr, _COUNTER.pack(self.next_seq), category="counter"
+        )
+        cost += self.cache.clwb(self.layout.counter_addr, category="counter")
+        self._consumed_since_update = 0
+        self.counters.counter_updates += 1
+        return cost
+
+    def force_publish_counter(self) -> float:
+        """Publish unconditionally (used when a driver goes idle)."""
+        if self._consumed_since_update == 0:
+            return 0.0
+        return self._publish_counter()
+
+    def _invalidate_line_of(self, seq: int, fenced: bool) -> float:
+        line_addr = self.layout.slot_line_addr(seq)
+        cost = self.cache.clflush(line_addr, fenced=fenced, category="message")
+        self.timing.on_invalidate(line_addr // CACHE_LINE)
+        return cost
+
+    def _prefetch_ahead(self, depth_lines: int) -> float:
+        """Issue PREFETCHT0 up to ``depth_lines`` ring lines ahead.
+
+        Lines already covered by a previous issue (the *prefetch horizon*)
+        are skipped; a prefetch of a line still cached (possibly stale) is a
+        hardware no-op, which is the pathology Figure 6's design ② hits.
+        """
+        per_line = self.layout.messages_per_line
+        depth_lines = min(depth_lines, self.layout.lines - 1)
+        cur_lseq = self.next_seq // per_line
+        start = max(self._prefetch_horizon + 1, cur_lseq + 1)
+        end = cur_lseq + depth_lines
+        cost = 0.0
+        for lseq in range(start, end + 1):
+            addr = self.layout.slot_line_addr(lseq * per_line)
+            issued, c = self.cache.prefetch(addr, category="message")
+            cost += c
+            if issued:
+                self.timing.on_prefetch_issued(addr // CACHE_LINE)
+        self._prefetch_horizon = max(self._prefetch_horizon, end)
+        return cost
+
+    def _reset_prefetch_horizon(self) -> None:
+        """Allow re-prefetching after the ahead window was invalidated (④)."""
+        self._prefetch_horizon = self.next_seq // self.layout.messages_per_line
+
+    # -- the design-specific part --------------------------------------------------
+
+    def poll(self) -> Tuple[Optional[bytes], float]:
+        """One poll iteration: returns ``(payload or None, cost_ns)``."""
+        raise NotImplementedError
+
+    def poll_batch(self, limit: int) -> Tuple[list, float]:
+        """Poll until empty or ``limit`` messages; used by DES driver loops."""
+        out = []
+        total = 0.0
+        while len(out) < limit:
+            payload, cost = self.poll()
+            total += cost
+            if payload is None:
+                break
+            out.append(payload)
+        return out, total

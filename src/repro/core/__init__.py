@@ -1,0 +1,16 @@
+"""Oasis core: datapath, engines, control plane, pod wiring."""
+
+from .arp import ArpRegistry
+from .datapath import ChannelPair, DoorbellChannel, LocalChannel, SharedRegions
+from .engine import Driver
+from .pod import CXLPod
+
+__all__ = [
+    "CXLPod",
+    "Driver",
+    "SharedRegions",
+    "DoorbellChannel",
+    "LocalChannel",
+    "ChannelPair",
+    "ArpRegistry",
+]

@@ -1,0 +1,18 @@
+"""Pod-wide allocator: leases, telemetry, placement, failure management."""
+
+from .allocator import AllocatorClient, PodAllocator
+from .balancer import LoadBalancer
+from .leases import Lease, LeaseTable
+from .policy import DeviceState, PlacementPolicy
+from .telemetry import TelemetryStore
+
+__all__ = [
+    "PodAllocator",
+    "AllocatorClient",
+    "LoadBalancer",
+    "Lease",
+    "LeaseTable",
+    "DeviceState",
+    "PlacementPolicy",
+    "TelemetryStore",
+]

@@ -1,0 +1,290 @@
+"""The pod-wide allocator: Oasis's control plane (§3.5).
+
+A logically centralised service, never on the data path.  It owns the
+authoritative instance-to-device mapping (leases), ingests 100 ms telemetry,
+places new instances (local-first, then least-loaded), and mitigates
+failures: a reported NIC failure revokes the affected leases, reassigns the
+instances to the backup NIC, notifies every involved frontend driver and
+triggers MAC borrowing at the backup backend -- the sequence whose end-to-end
+latency is the ~38 ms interruption of Figure 13.
+
+Decisions are committed through a Raft cluster when one is attached
+(:meth:`attach_raft`); side effects run only where the command commits on the
+leader, so a replicated allocator survives leader loss without double-acting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ...config import OasisConfig
+from ...errors import AllocationError
+from ...sim.core import MSEC, Simulator, USEC
+from .leases import LeaseTable
+from .policy import DeviceState, PlacementPolicy
+from .telemetry import TelemetryStore
+
+__all__ = ["PodAllocator", "AllocatorClient"]
+
+
+class PodAllocator:
+    """The control plane service."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[OasisConfig] = None,
+        policy: Optional[PlacementPolicy] = None,
+    ):
+        self.sim = sim
+        self.config = config or OasisConfig()
+        cfg = self.config.failover
+        self.policy = policy or PlacementPolicy(allow_oversubscription=4.0)
+        self.devices: Dict[str, DeviceState] = {}
+        self.backends: Dict[str, object] = {}     # nic name -> backend driver
+        self.frontends: Dict[str, object] = {}    # host name -> frontend driver
+        self.nic_macs: Dict[str, int] = {}
+        self.assignments: Dict[int, str] = {}     # instance ip -> nic name
+        self.backup_assignments: Dict[int, str] = {}
+        self.leases = LeaseTable(cfg.lease_ttl_ms * MSEC)
+        self.telemetry_store = TelemetryStore(cfg.telemetry_interval_ms * MSEC,
+                                              cfg.host_failure_missed_telemetry)
+        self._raft = None
+        self.failovers_executed = 0
+        self.migrations_executed = 0
+        self.on_failover: Optional[Callable[[str, str], None]] = None
+        self._host_check_task = None
+        # Storage pooling (§3.4): SSDs are placed with the same local-first /
+        # least-loaded policy, tracked separately from NICs.
+        self.storage_devices: Dict[str, DeviceState] = {}
+        self.storage_backends: Dict[str, object] = {}
+        self.storage_assignments: Dict[int, str] = {}
+
+    # -- wiring --------------------------------------------------------------------
+
+    def attach_raft(self, raft_node) -> None:
+        """Replicate decisions through ``raft_node`` (apply_cb must be us)."""
+        self._raft = raft_node
+
+    def register_backend(self, backend, capacity_gbps: float,
+                         is_backup: bool = False) -> None:
+        nic = backend.nic
+        self.devices[nic.name] = DeviceState(
+            name=nic.name, host=backend.host.name, capacity=capacity_gbps,
+            is_backup=is_backup,
+        )
+        self.backends[nic.name] = backend
+        self.nic_macs[nic.name] = nic.mac
+
+    def register_frontend(self, host_name: str, frontend) -> None:
+        self.frontends[host_name] = frontend
+
+    def start_host_monitor(self) -> None:
+        """Infer host failures from missing telemetry records (§3.5)."""
+        interval = self.config.failover.telemetry_interval_ms * MSEC
+        self._host_check_task = self.sim.every(interval, self._check_hosts)
+
+    # -- placement --------------------------------------------------------------------
+
+    def place_instance(self, ip: int, host_name: str, nic_demand_gbps: float) -> tuple:
+        """Allocate a (primary, backup) NIC pair for a new instance."""
+        device = self.policy.choose(self.devices, host_name, nic_demand_gbps)
+        device.allocated += nic_demand_gbps
+        backup = self.policy.choose_backup(self.devices, exclude=device.name)
+        self.assignments[ip] = device.name
+        if backup is not None:
+            self.backup_assignments[ip] = backup.name
+        self.leases.grant(ip, device.name, self.sim.now)
+        self._commit({"op": "place", "ip": ip, "nic": device.name,
+                      "backup": backup.name if backup else None})
+        return device.name, backup.name if backup else None
+
+    # -- storage placement (§3.4) -----------------------------------------------
+
+    def register_storage_backend(self, backend, capacity_tb: float) -> None:
+        ssd = backend.ssd
+        self.storage_devices[ssd.name] = DeviceState(
+            name=ssd.name, host=backend.host.name, capacity=capacity_tb,
+        )
+        self.storage_backends[ssd.name] = backend
+
+    def place_storage(self, ip: int, host_name: str, ssd_demand_tb: float) -> str:
+        """Allocate an SSD for a new instance; returns the device name."""
+        device = self.policy.choose(self.storage_devices, host_name,
+                                    ssd_demand_tb)
+        device.allocated += ssd_demand_tb
+        self.storage_assignments[ip] = device.name
+        self.leases.grant(ip, device.name, self.sim.now)
+        self._commit({"op": "place-storage", "ip": ip, "ssd": device.name})
+        return device.name
+
+    def release_storage(self, ip: int, ssd_demand_tb: float) -> None:
+        ssd = self.storage_assignments.pop(ip, None)
+        if ssd is not None:
+            self.storage_devices[ssd].allocated -= ssd_demand_tb
+            self.leases.revoke(ip, ssd)
+            self._commit({"op": "release-storage", "ip": ip, "ssd": ssd})
+
+    def on_storage_telemetry(self, record: dict) -> None:
+        self.telemetry_store.ingest(record)
+        device = self.storage_devices.get(record["nic"])
+        if device is not None:
+            device.measured_load = record.get("tx_bw", 0.0) + record.get("rx_bw", 0.0)
+        self.leases.renew_device(record["nic"], self.sim.now)
+
+    def release_instance(self, ip: int, nic_demand_gbps: float) -> None:
+        nic = self.assignments.pop(ip, None)
+        self.backup_assignments.pop(ip, None)
+        if nic is not None:
+            self.devices[nic].allocated -= nic_demand_gbps
+            self.leases.revoke(ip, nic)
+            self._commit({"op": "release", "ip": ip, "nic": nic})
+
+    # -- telemetry ----------------------------------------------------------------------
+
+    def on_telemetry(self, record: dict) -> None:
+        self.telemetry_store.ingest(record)
+        device = self.devices.get(record["nic"])
+        if device is not None:
+            device.measured_load = record.get("tx_bw", 0.0) + record.get("rx_bw", 0.0)
+        self.leases.renew_device(record["nic"], self.sim.now)
+
+    def _check_hosts(self) -> None:
+        for host in self.telemetry_store.dead_hosts(self.sim.now):
+            for device in list(self.devices.values()):
+                if device.host == host and not device.failed:
+                    self.on_failure_report(device.name)
+            # Avoid re-triggering every tick.
+            self.telemetry_store.mark_seen(host, self.sim.now)
+
+    # -- failure management (§3.3.3) --------------------------------------------------------
+
+    def on_failure_report(self, nic_name: str) -> None:
+        """A backend reported its NIC down (or a host went silent)."""
+        device = self.devices.get(nic_name)
+        if device is None or device.failed:
+            return
+        device.failed = True
+        processing = self.config.failover.allocator_processing_ms * MSEC
+        self.sim.schedule(processing, self._commit_failover, nic_name)
+
+    def _commit_failover(self, nic_name: str) -> None:
+        self._commit({"op": "failover", "nic": nic_name})
+
+    def _commit(self, command: dict) -> None:
+        """Run ``command`` through Raft when attached, else apply directly."""
+        if self._raft is not None and self._raft.is_leader:
+            self._raft.propose(command)
+        else:
+            self.apply(0, command)
+
+    def apply(self, index: int, command: dict) -> None:
+        """State-machine apply (Raft callback or direct)."""
+        if command.get("op") == "failover":
+            # Side effects only where the leader applies (or unreplicated).
+            if self._raft is None or self._raft.is_leader:
+                self._execute_failover(command["nic"])
+
+    def _execute_failover(self, nic_name: str) -> None:
+        cfg = self.config.failover
+        device = self.devices[nic_name]
+        device.failed = True
+        backup = self.policy.choose_backup(self.devices, exclude=nic_name)
+        if backup is None:
+            raise AllocationError(f"no backup available for failed {nic_name}")
+        self.failovers_executed += 1
+
+        # Revoke all leases on the failed device; re-grant on the backup.
+        moved = 0
+        for lease in self.leases.revoke_device(nic_name):
+            self.leases.grant(lease.instance_ip, backup.name, self.sim.now)
+            self.assignments[lease.instance_ip] = backup.name
+            moved += 1
+        backup.allocated += device.allocated
+        device.allocated = 0.0
+
+        # Notify every frontend using the failed NIC; they atomically reroute
+        # TX traffic (buffers are already in shared CXL memory) to the
+        # replacement we picked.
+        for frontend in self.frontends.values():
+            self.sim.schedule(
+                cfg.notify_frontend_ms * MSEC, frontend.fail_over, nic_name,
+                backup.name,
+            )
+        # The backup NIC borrows the failed NIC's MAC so the switch reroutes
+        # RX packets without application involvement.
+        backup_backend = self.backends[backup.name]
+        failed_mac = self.nic_macs[nic_name]
+        self.sim.schedule(
+            cfg.mac_borrow_ms * MSEC, backup_backend.borrow_mac, failed_mac
+        )
+        if self.on_failover is not None:
+            self.on_failover(nic_name, backup.name)
+
+    # -- load balancing (§3.3.4) ------------------------------------------------------------------
+
+    def migrate(self, ip: int, new_nic: str, demand_gbps: float = 0.0) -> None:
+        """Gracefully migrate one instance's traffic to ``new_nic``."""
+        old_nic = self.assignments.get(ip)
+        if old_nic == new_nic or old_nic is None:
+            return
+        frontend = self._frontend_of(ip)
+        new_backend = self.backends[new_nic]
+        new_backend.register_instance(ip, frontend.host.name)
+        new_link = frontend.link(new_nic)
+        frontend.migrate_instance(ip, new_link)
+        self.leases.revoke(ip, old_nic)
+        self.leases.grant(ip, new_nic, self.sim.now)
+        self.assignments[ip] = new_nic
+        self.devices[old_nic].allocated -= demand_gbps
+        self.devices[new_nic].allocated += demand_gbps
+        self.migrations_executed += 1
+        self._commit({"op": "migrate", "ip": ip, "nic": new_nic})
+
+    def rebalance_once(self, demand_gbps: float = 0.0) -> Optional[tuple]:
+        """Move one instance from the most- to the least-loaded NIC."""
+        candidates = [d for d in self.devices.values()
+                      if not d.failed and not d.is_backup]
+        if len(candidates) < 2:
+            return None
+        hottest = max(candidates, key=lambda d: d.measured_load)
+        coldest = min(candidates, key=lambda d: d.measured_load)
+        if hottest.name == coldest.name:
+            return None
+        victims = [ip for ip, nic in self.assignments.items()
+                   if nic == hottest.name]
+        if not victims:
+            return None
+        ip = victims[0]
+        self.migrate(ip, coldest.name, demand_gbps)
+        return ip, hottest.name, coldest.name
+
+    def _frontend_of(self, ip: int):
+        for frontend in self.frontends.values():
+            if ip in frontend._records:
+                return frontend
+        raise AllocationError(f"no frontend knows instance {ip}")
+
+
+class AllocatorClient:
+    """Driver-side stub: models the channel hop to the allocator (§3.2.2).
+
+    ``storage=True`` routes telemetry to the storage-device table.
+    """
+
+    def __init__(self, sim: Simulator, allocator: PodAllocator,
+                 latency_us: float = 5.0, storage: bool = False):
+        self.sim = sim
+        self.allocator = allocator
+        self.latency_s = latency_us * USEC
+        self.storage = storage
+
+    def report_failure(self, backend) -> None:
+        self.sim.schedule(self.latency_s, self.allocator.on_failure_report,
+                          backend.nic.name)
+
+    def telemetry(self, backend, record: dict) -> None:
+        target = (self.allocator.on_storage_telemetry if self.storage
+                  else self.allocator.on_telemetry)
+        self.sim.schedule(self.latency_s, target, record)

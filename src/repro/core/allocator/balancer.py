@@ -1,0 +1,96 @@
+"""Telemetry-driven load balancing (§6, "Load balancing policies").
+
+The paper rebalances only at instance start or failure time, but notes that
+the allocator's fine-grained telemetry "opens up the possibility for
+advanced load balancing policies that exploit the bursty nature of network
+traffic".  This module implements that extension: a periodic balancer that
+watches each NIC's measured bandwidth and gracefully migrates instances off
+NICs that stay above a high-water mark onto the least-loaded NIC, using the
+§3.3.4 migration flow (GARP, dual-registration grace period, no packet
+loss).
+
+Hysteresis and a per-instance cooldown prevent migration storms on bursty
+traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...config import OasisConfig
+from ...sim.core import MSEC, Simulator
+
+__all__ = ["LoadBalancer"]
+
+
+class LoadBalancer:
+    """Periodic high/low-water-mark balancer over the pod allocator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        allocator,
+        interval_ms: float = 500.0,
+        high_water: float = 0.7,    # fraction of NIC line rate
+        low_water: float = 0.4,
+        cooldown_s: float = 5.0,
+        config: Optional[OasisConfig] = None,
+    ):
+        self.sim = sim
+        self.allocator = allocator
+        self.config = config or OasisConfig()
+        self.interval_s = interval_ms * MSEC
+        self.high_water = high_water
+        self.low_water = low_water
+        self.cooldown_s = cooldown_s
+        self._last_moved: Dict[int, float] = {}   # instance ip -> time
+        self._task = None
+        self.migrations = 0
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = self.sim.every(self.interval_s, self._tick)
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    # -- policy -----------------------------------------------------------------
+
+    def _line_rate(self) -> float:
+        return self.config.nic.bytes_per_sec
+
+    def _tick(self) -> None:
+        devices = self.allocator.devices
+        candidates = [d for d in devices.values()
+                      if not d.failed and not d.is_backup]
+        if len(candidates) < 2:
+            return
+        line = self._line_rate()
+        hot = [d for d in candidates if d.measured_load > self.high_water * line]
+        if not hot:
+            return
+        cold = min(candidates, key=lambda d: d.measured_load)
+        if cold.measured_load > self.low_water * line:
+            return   # nowhere quiet enough to move to
+        hottest = max(hot, key=lambda d: d.measured_load)
+        if hottest.name == cold.name:
+            return
+        victim = self._pick_victim(hottest.name)
+        if victim is None:
+            return
+        self.allocator.migrate(victim, cold.name)
+        self._last_moved[victim] = self.sim.now
+        self.migrations += 1
+
+    def _pick_victim(self, nic_name: str) -> Optional[int]:
+        """An instance on the hot NIC that hasn't been moved recently."""
+        now = self.sim.now
+        for ip, nic in self.allocator.assignments.items():
+            if nic != nic_name:
+                continue
+            if now - self._last_moved.get(ip, -1e9) < self.cooldown_s:
+                continue
+            return ip
+        return None

@@ -1,0 +1,103 @@
+"""Device placement policy (§3.5).
+
+"When an instance is placed, the allocator first tries to satisfy its
+allocations with host-local NIC bandwidth and SSD capacity.  If this is not
+possible, the allocator greedily selects the devices with the lowest load."
+
+Backup devices (§3.3.3) are kept underutilised: only node-local instances may
+be placed on a backup NIC; remote instances never are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ...errors import AllocationError
+
+__all__ = ["DeviceState", "PlacementPolicy"]
+
+
+@dataclass
+class DeviceState:
+    """Allocator-side view of one pooled device."""
+
+    name: str
+    host: str
+    capacity: float               # Gbps for NICs, TB for SSDs
+    allocated: float = 0.0
+    is_backup: bool = False
+    failed: bool = False
+    measured_load: float = 0.0    # refreshed from telemetry
+
+    @property
+    def free(self) -> float:
+        return self.capacity - self.allocated
+
+    def utilization(self) -> float:
+        return self.allocated / self.capacity if self.capacity else 0.0
+
+
+class PlacementPolicy:
+    """Local-first, then least-loaded greedy placement."""
+
+    def __init__(self, allow_oversubscription: float = 1.0):
+        """``allow_oversubscription`` > 1 lets allocated demand exceed
+        capacity (the whole point of pooling bursty traffic, §2.2)."""
+        self.allow_oversubscription = allow_oversubscription
+
+    def _fits(self, device: DeviceState, demand: float) -> bool:
+        limit = device.capacity * self.allow_oversubscription
+        return device.allocated + demand <= limit
+
+    def _eligible(self, device: DeviceState, host: str) -> bool:
+        if device.failed:
+            return False
+        if device.is_backup and device.host != host:
+            return False  # backups serve only node-local instances
+        return True
+
+    def choose(
+        self,
+        devices: Dict[str, DeviceState],
+        host: str,
+        demand: float,
+    ) -> DeviceState:
+        """Pick a device for an instance on ``host`` needing ``demand``."""
+        # 1. Host-local devices first.
+        local = [
+            d for d in devices.values()
+            if d.host == host and self._eligible(d, host) and self._fits(d, demand)
+        ]
+        if local:
+            return min(local, key=lambda d: d.utilization())
+        # 2. Greedy least-loaded remote device.
+        remote = [
+            d for d in devices.values()
+            if self._eligible(d, host) and self._fits(d, demand)
+        ]
+        if remote:
+            return min(remote, key=lambda d: d.utilization())
+        raise AllocationError(
+            f"no device can satisfy demand {demand} for host {host}"
+        )
+
+    def choose_backup(
+        self,
+        devices: Dict[str, DeviceState],
+        exclude: Optional[str] = None,
+    ) -> Optional[DeviceState]:
+        """Pick the failover target: the designated backup if alive, else the
+        least-loaded healthy device."""
+        backups = [
+            d for d in devices.values()
+            if d.is_backup and not d.failed and d.name != exclude
+        ]
+        if backups:
+            return min(backups, key=lambda d: d.utilization())
+        others = [
+            d for d in devices.values() if not d.failed and d.name != exclude
+        ]
+        if not others:
+            return None
+        return min(others, key=lambda d: d.utilization())

@@ -1,0 +1,260 @@
+"""The common Oasis datapath over shared CXL memory (§3.2).
+
+Two pieces live here:
+
+* :class:`SharedRegions` -- carves the pod's CXL pool into channel rings,
+  per-host TX regions (subdivided into per-instance TX buffer areas) and
+  per-NIC RX buffer areas;
+* :class:`DoorbellChannel` / :class:`LocalChannel` -- the discrete-event
+  adapters drivers use to signal each other.  A :class:`DoorbellChannel`
+  wraps the functional non-coherent ring protocol (sender on one host's
+  cache, an ④-design receiver on another's) and models the end-to-end
+  signalling latency -- CLWB visibility plus busy-poll discovery -- as a
+  configurable hop.  A :class:`LocalChannel` is the baseline's local-DDR IPC
+  path (Junction's iokernel rings), with no CXL involvement.
+
+The functional ring still moves real bytes through the shared pool, so the
+CXL traffic counters behind Table 3 and all staleness invariants remain live
+in full-system experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional, Tuple
+
+from ..config import OasisConfig
+from ..channel.designs import InvalidatePrefetchedReceiver
+from ..channel.protocol import ChannelSender
+from ..channel.ring import RingLayout
+from ..errors import ChannelFullError
+from ..mem.cxl import CXLMemoryPool
+from ..mem.layout import Region, RegionAllocator
+from ..sim.core import Signal, Simulator, USEC
+
+__all__ = ["SharedRegions", "DoorbellChannel", "LocalChannel", "ChannelPair"]
+
+
+class SharedRegions:
+    """Region bookkeeping for one CXL pod."""
+
+    def __init__(self, pool: CXLMemoryPool, config: Optional[OasisConfig] = None):
+        self.pool = pool
+        self.config = config or OasisConfig()
+        self._allocator = RegionAllocator(Region(0, pool.size, "pool"))
+
+    def alloc(self, size: int, label: str) -> Region:
+        return self._allocator.alloc(size, label)
+
+    def free(self, region: Region) -> None:
+        self._allocator.free(region)
+
+    def alloc_ring(self, message_size: int, label: str,
+                   slots: Optional[int] = None) -> RingLayout:
+        slots = slots or self.config.datapath.channel_slots
+        region = self.alloc(RingLayout.required_bytes(slots, message_size), label)
+        return RingLayout(region, slots, message_size)
+
+    def alloc_tx_region(self, host_name: str) -> Region:
+        return self.alloc(self.config.datapath.tx_region_bytes, f"tx-{host_name}")
+
+    def alloc_rx_region(self, nic_name: str) -> Region:
+        return self.alloc(self.config.datapath.rx_region_bytes, f"rx-{nic_name}")
+
+    @property
+    def free_bytes(self) -> int:
+        return self._allocator.free_bytes
+
+
+class DoorbellChannel:
+    """One-way cross-host channel: non-coherent ring + modelled hop latency.
+
+    The *hop* covers what the microbenchmark measures end to end: the
+    sender's posted-write flight time plus the time until the busy-polling
+    receiver core discovers the message (§5.1 explains why this is larger
+    than the bare 0.6 us one-way figure: the driver cores also do other
+    work).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        layout: RingLayout,
+        sender_cache,
+        receiver_cache,
+        name: str,
+        hop_us: float = 2.8,
+        prefetch_depth: int = 4,
+    ):
+        self.sim = sim
+        self.name = name
+        self.layout = layout
+        self.hop_s = hop_us * USEC
+        self.sender = ChannelSender(layout, sender_cache)
+        # Datapath channels use a shallow prefetch window: driver cores drain
+        # several channels in small batches, so a deep window would be
+        # invalidated and re-fetched on every drain, wasting CXL bandwidth
+        # (the microbenchmark's dedicated single-channel receiver keeps the
+        # paper's depth of 16).
+        self.receiver = InvalidatePrefetchedReceiver(
+            layout, receiver_cache, prefetch_depth=prefetch_depth
+        )
+        self._work_signal: Optional[Signal] = None
+        # Per-message visibility times: a message can be drained only once
+        # its CLWB flight + busy-poll discovery delay has elapsed, so a later
+        # message never rides an earlier message's doorbell for free.
+        self._visible_at: deque = deque()
+        self._fire_scheduled_for: Optional[float] = None
+
+    # -- receiver side ----------------------------------------------------------
+
+    def bind(self, work_signal: Signal) -> None:
+        """Attach the receiving driver's wakeup signal."""
+        self._work_signal = work_signal
+
+    def drain(self, limit: int = 256) -> Tuple[List[bytes], float]:
+        """Receive the messages already visible; returns (payloads, cpu_ns)."""
+        now = self.sim.now + 1e-12
+        ready = 0
+        for visible_at in self._visible_at:
+            if visible_at > now or ready >= limit:
+                break
+            ready += 1
+        payloads, cost = self.receiver.poll_batch(ready) if ready else ([], 0.0)
+        for _ in payloads:
+            self._visible_at.popleft()
+        if not payloads:
+            cost += self.receiver.force_publish_counter()
+        if self._visible_at:
+            self._schedule_fire(self._visible_at[0])
+        return payloads, cost
+
+    # -- sender side ---------------------------------------------------------------
+
+    def send(self, payload: bytes) -> float:
+        """Send one message and ring the doorbell.  Returns sender cpu ns."""
+        cost = self.sender.send(payload)
+        self._mark_visible(1)
+        return cost
+
+    def send_many(self, payloads: List[bytes]) -> float:
+        """Send a batch with one flush + one doorbell (driver batching)."""
+        cost = 0.0
+        sent = 0
+        try:
+            for payload in payloads:
+                ok, c = self.sender.try_send(payload)
+                cost += c
+                if not ok:
+                    raise ChannelFullError(self.name)
+                sent += 1
+        finally:
+            cost += self.sender.flush()
+            self._mark_visible(sent)
+        return cost
+
+    def _mark_visible(self, count: int) -> None:
+        if count <= 0:
+            return
+        visible_at = self.sim.now + self.hop_s
+        for _ in range(count):
+            self._visible_at.append(visible_at)
+        self._schedule_fire(visible_at)
+
+    def _schedule_fire(self, when: float) -> None:
+        if self._work_signal is None:
+            return
+        if self._fire_scheduled_for is not None and \
+                self._fire_scheduled_for <= when + 1e-12:
+            return
+        self._fire_scheduled_for = when
+        self.sim.at(max(when, self.sim.now), self._fire)
+
+    def _fire(self) -> None:
+        self._fire_scheduled_for = None
+        if self._work_signal is not None:
+            self._work_signal.set()
+
+
+class LocalChannel:
+    """Baseline signalling path: a lock-free ring in local DDR (no CXL)."""
+
+    def __init__(self, sim: Simulator, name: str, hop_us: float = 0.25):
+        self.sim = sim
+        self.name = name
+        self.hop_s = hop_us * USEC
+        self._queue: deque = deque()
+        self._work_signal: Optional[Signal] = None
+        self._notify_pending = False
+        self.sent = 0
+
+    def bind(self, work_signal: Signal) -> None:
+        self._work_signal = work_signal
+
+    def drain(self, limit: int = 256) -> Tuple[List[bytes], float]:
+        out = []
+        while self._queue and len(out) < limit:
+            out.append(self._queue.popleft())
+        return out, 25.0 * len(out)  # ~25 ns per local ring entry
+
+    def send(self, payload: bytes) -> float:
+        self._queue.append(payload)
+        self.sent += 1
+        self._notify()
+        return 25.0
+
+    def send_many(self, payloads: List[bytes]) -> float:
+        self._queue.extend(payloads)
+        self.sent += len(payloads)
+        if payloads:
+            self._notify()
+        return 25.0 * len(payloads)
+
+    def _notify(self) -> None:
+        if self._work_signal is None or self._notify_pending:
+            return
+        self._notify_pending = True
+        self.sim.schedule(self.hop_s, self._fire)
+
+    def _fire(self) -> None:
+        self._notify_pending = False
+        if self._work_signal is not None:
+            self._work_signal.set()
+
+
+class ChannelPair:
+    """A bidirectional link between two drivers (one channel each way)."""
+
+    def __init__(self, a_to_b, b_to_a, name: str = "pair"):
+        self.a_to_b = a_to_b
+        self.b_to_a = b_to_a
+        self.name = name
+
+    @classmethod
+    def over_cxl(
+        cls,
+        sim: Simulator,
+        regions: SharedRegions,
+        cache_a,
+        cache_b,
+        name: str,
+        message_size: int = 16,
+        hop_us: float = 2.8,
+        slots: Optional[int] = None,
+    ) -> "ChannelPair":
+        """Allocate both rings in shared memory and wire the caches."""
+        layout_ab = regions.alloc_ring(message_size, f"{name}-ab", slots)
+        layout_ba = regions.alloc_ring(message_size, f"{name}-ba", slots)
+        return cls(
+            DoorbellChannel(sim, layout_ab, cache_a, cache_b, f"{name}-ab", hop_us),
+            DoorbellChannel(sim, layout_ba, cache_b, cache_a, f"{name}-ba", hop_us),
+            name,
+        )
+
+    @classmethod
+    def local(cls, sim: Simulator, name: str, hop_us: float = 0.25) -> "ChannelPair":
+        return cls(
+            LocalChannel(sim, f"{name}-ab", hop_us),
+            LocalChannel(sim, f"{name}-ba", hop_us),
+            name,
+        )

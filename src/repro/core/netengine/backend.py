@@ -1,0 +1,352 @@
+"""Network engine backend driver (§3.3).
+
+Runs only on hosts with a local NIC.  It moves packets between frontend
+drivers (over Oasis message channels) and the NIC's queue pairs (through the
+native driver model in :mod:`repro.pcie.nic`), never inspecting packet
+buffers on the normal path (§3.2.1): TX buffers go straight from the message
+pointer to a WQE, and RX packets are demultiplexed by NIC flow tag.  Only
+when the NIC cannot tag a packet does the backend fall back to reading the
+header -- and then immediately invalidates the touched lines (footnote 6).
+
+The backend also runs the two periodic control tasks of §3.5: the link-status
+monitor that detects NIC/cable/switch failures, and the 100 ms telemetry
+reports to the pod-wide allocator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ...config import OasisConfig
+from ...errors import ChannelFullError, DeviceError
+from ...host.host import Host, MemDomain
+from ...mem.layout import FixedPool, Region
+from ...net.packet import BROADCAST_MAC, Frame
+from ...pcie.nic import SimNIC
+from ...pcie.queues import Completion, RxDescriptor, TxDescriptor
+from ...sim.core import MSEC, Simulator
+from ..engine import Driver
+from .messages import OP_RX, OP_RX_COMP, OP_TX, OP_TX_COMP, NetMessage
+
+__all__ = ["NetBackend", "FrontendLink"]
+
+
+@dataclass
+class FrontendLink:
+    """Backend's view of one frontend driver it serves."""
+
+    name: str        # frontend host name
+    tx: object       # channel endpoint: backend -> frontend
+    rx: object       # channel endpoint: frontend -> backend
+
+
+class NetBackend(Driver):
+    """One backend driver per pooled NIC, on a dedicated busy-polling core."""
+
+    TX_ITEM_NS = 100.0
+    RX_ITEM_NS = 120.0
+    COMP_ITEM_NS = 60.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        nic: SimNIC,
+        rx_domain: MemDomain,
+        rx_region: Region,
+        config: Optional[OasisConfig] = None,
+        tx_buffers_local: bool = False,
+    ):
+        super().__init__(sim, f"be-{nic.name}", config)
+        self.host = host
+        self.nic = nic
+        self.rx_domain = rx_domain
+        self.tx_buffers_local = tx_buffers_local
+        self.rx_pool = FixedPool(rx_region, self.config.datapath.rx_buffer_bytes)
+        self._links: Dict[str, FrontendLink] = {}
+        self._registry: Dict[int, str] = {}      # instance ip -> frontend name
+        self._tag_to_ip: Dict[int, int] = {}     # NIC flow tag -> instance ip
+        self._tx_pending: deque = deque()        # descriptors awaiting ring space
+        self._tx_comps: deque = deque()
+        self._rx_comps: deque = deque()
+        self._fe_retry: deque = deque()          # (fe_name, message) on full ring
+        self.control = None                       # allocator client, set by pod
+        self._monitor_task = None
+        self._telemetry_task = None
+        self._failure_reported = False
+        self._last_tx_bytes = 0
+        self._last_rx_bytes = 0
+        # Counters.
+        self.tx_posted = 0
+        self.rx_forwarded = 0
+        self.rx_fallback_inspections = 0
+        self.rx_dropped_unknown = 0
+
+        nic.on_tx_complete = self._on_nic_tx_comp
+        nic.on_rx = self._on_nic_rx
+        self._fill_rx_ring()
+
+    # -- wiring --------------------------------------------------------------------
+
+    def connect_frontend(self, link: FrontendLink) -> None:
+        self._links[link.name] = link
+        link.rx.bind(self.work)
+
+    def register_instance(self, ip: int, frontend_name: str) -> Optional[int]:
+        """Register an instance's IP with this NIC (flow tagging, §3.3.1)."""
+        self._registry[ip] = frontend_name
+        if self.nic.config.supports_flow_tagging:
+            try:
+                tag = self.nic.add_flow_tag(ip)
+            except DeviceError:
+                return None
+            self._tag_to_ip[tag] = ip
+            return tag
+        return None
+
+    def unregister_instance(self, ip: int) -> None:
+        self._registry.pop(ip, None)
+        tag = self.nic.flow_table.get(ip)
+        if tag is not None:
+            self._tag_to_ip.pop(tag, None)
+        self.nic.remove_flow_tag(ip)
+
+    @property
+    def registered_ips(self) -> set:
+        return set(self._registry)
+
+    # -- RX ring management ---------------------------------------------------------------
+
+    def _fill_rx_ring(self) -> None:
+        while not self.nic.rx_ring.full:
+            addr = self.rx_pool.alloc()
+            if addr is None:
+                break
+            self.nic.post_rx(
+                RxDescriptor(addr=addr, capacity=self.rx_pool.buffer_size,
+                             local=not self.rx_domain.is_shared)
+            )
+
+    # -- NIC callbacks (interrupt-less completion queues) -----------------------------------
+
+    def _on_nic_tx_comp(self, completion: Completion) -> None:
+        self._tx_comps.append(completion)
+        self.kick()
+
+    def _on_nic_rx(self, completion: Completion) -> None:
+        self._rx_comps.append(completion)
+        self.kick()
+
+    # -- driver loop ---------------------------------------------------------------------------
+
+    def _process(self) -> tuple:
+        items = 0
+        cost = 0.0
+        for part in (self._process_frontend_messages, self._process_tx_pending,
+                     self._process_tx_comps, self._process_rx_comps,
+                     self._process_fe_retries):
+            n, c = part()
+            items += n
+            cost += c
+        return items, cost
+
+    def _process_fe_retries(self) -> tuple:
+        """Re-send messages that hit a full frontend ring earlier."""
+        if not self._fe_retry:
+            return 0, 0.0
+        cost = 0.0
+        sent = 0
+        pending, self._fe_retry = self._fe_retry, deque()
+        for fe_name, message in pending:
+            cost += self._send_to_frontend(fe_name, message)
+            if not self._fe_retry or self._fe_retry[-1][1] is not message:
+                sent += 1
+        if self._fe_retry:
+            # Still full: back off and try again shortly.
+            self.sim.schedule(5e-6, self.kick)
+        return sent, cost
+
+    def _process_frontend_messages(self) -> tuple:
+        cost = 0.0
+        items = 0
+        for link in self._links.values():
+            payloads, drain_cost = link.rx.drain()
+            cost += drain_cost
+            items += len(payloads)
+            for raw in payloads:
+                message = NetMessage.unpack(raw)
+                if message.opcode == OP_TX:
+                    cost += self._handle_tx(link, message)
+                elif message.opcode == OP_RX_COMP:
+                    cost += self._handle_rx_comp(message)
+                else:
+                    cost += 20.0
+        return items, cost
+
+    def _handle_tx(self, link: FrontendLink, message: NetMessage) -> float:
+        descriptor = TxDescriptor(
+            addr=message.buffer_addr,
+            length=message.size,
+            cookie=(message, link.name),
+        )
+        descriptor.local = self.tx_buffers_local
+        if self.nic.tx_ring.full or self.nic.failed:
+            self._tx_pending.append(descriptor)
+        else:
+            self.nic.post_tx(descriptor)
+            self.tx_posted += 1
+        return self.TX_ITEM_NS
+
+    def _process_tx_pending(self) -> tuple:
+        cost = 0.0
+        items = 0
+        while self._tx_pending and not self.nic.tx_ring.full:
+            if self.nic.failed:
+                # Complete with error so the frontend frees the buffers.
+                descriptor = self._tx_pending.popleft()
+                message, fe_name = descriptor.cookie
+                cost += self._send_to_frontend(
+                    fe_name,
+                    NetMessage(OP_TX_COMP, message.size, message.instance_ip,
+                               message.buffer_addr),
+                )
+                items += 1
+                continue
+            self.nic.post_tx(self._tx_pending.popleft())
+            self.tx_posted += 1
+            items += 1
+            cost += self.TX_ITEM_NS / 2
+        return items, cost
+
+    def _handle_rx_comp(self, message: NetMessage) -> float:
+        """Frontend consumed an RX buffer: recycle and repost it."""
+        self.rx_pool.free(message.buffer_addr)
+        self._fill_rx_ring()
+        return self.COMP_ITEM_NS
+
+    def _process_tx_comps(self) -> tuple:
+        cost = 0.0
+        items = 0
+        while self._tx_comps:
+            items += 1
+            completion = self._tx_comps.popleft()
+            message, fe_name = completion.descriptor.cookie
+            cost += self.COMP_ITEM_NS
+            cost += self._send_to_frontend(
+                fe_name,
+                NetMessage(OP_TX_COMP, message.size, message.instance_ip,
+                           message.buffer_addr),
+            )
+        return items, cost
+
+    def _process_rx_comps(self) -> tuple:
+        cost = 0.0
+        items = 0
+        while self._rx_comps:
+            items += 1
+            completion = self._rx_comps.popleft()
+            cost += self.RX_ITEM_NS
+            addr = completion.descriptor.addr
+            ip = self._ip_for_tag(completion.tag)
+            if ip is None:
+                ip, inspect_cost = self._inspect_buffer(addr)
+                cost += inspect_cost
+            fe_name = self._registry.get(ip)
+            if fe_name is None:
+                self.rx_dropped_unknown += 1
+                self.rx_pool.free(addr)
+                self._fill_rx_ring()
+                continue
+            self.rx_forwarded += 1
+            cost += self._send_to_frontend(
+                fe_name, NetMessage(OP_RX, completion.length, ip, addr)
+            )
+        return items, cost
+
+    def _ip_for_tag(self, tag: Optional[int]) -> Optional[int]:
+        if tag is None:
+            return None
+        return self._tag_to_ip.get(tag)
+
+    def _inspect_buffer(self, addr: int) -> tuple:
+        """Footnote 6 fallback: parse the header, then invalidate the lines."""
+        self.rx_fallback_inspections += 1
+        from ...net.packet import HEADER_SIZE
+
+        data, load_ns = self.rx_domain.cache.load(addr, HEADER_SIZE,
+                                                  category="payload")
+        cost = load_ns
+        cost += self.rx_domain.cache.clflush_range(addr, HEADER_SIZE,
+                                                   category="payload")
+        frame = Frame.unpack(data)
+        return frame.dst_ip, cost
+
+    def _send_to_frontend(self, fe_name: str, message: NetMessage) -> float:
+        link = self._links.get(fe_name)
+        if link is None:
+            return 20.0
+        try:
+            return link.tx.send(message.pack())
+        except ChannelFullError:
+            # Ring full: queue for retry (the real ring would backpressure
+            # the polling loop the same way).
+            self._fe_retry.append((fe_name, message))
+            self.sim.schedule(5e-6, self.kick)
+            return 50.0
+
+    # -- control plane (§3.3.3, §3.5) -----------------------------------------------------------
+
+    def start_monitors(self) -> None:
+        """Start the link monitor and telemetry reporting."""
+        cfg = self.config.failover
+        self._monitor_task = self.sim.every(
+            cfg.link_monitor_interval_ms * MSEC, self._check_link
+        )
+        self._telemetry_task = self.sim.every(
+            cfg.telemetry_interval_ms * MSEC, self._send_telemetry
+        )
+
+    def stop_monitors(self) -> None:
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+        if self._telemetry_task is not None:
+            self._telemetry_task.cancel()
+
+    def _check_link(self) -> None:
+        if self.nic.link_up:
+            self._failure_reported = False
+            return
+        if self._failure_reported or self.control is None:
+            return
+        self._failure_reported = True
+        self.control.report_failure(self)
+
+    def _send_telemetry(self) -> None:
+        if self.control is None:
+            return
+        tx_delta = self.nic.tx_bytes - self._last_tx_bytes
+        rx_delta = self.nic.rx_bytes - self._last_rx_bytes
+        self._last_tx_bytes = self.nic.tx_bytes
+        self._last_rx_bytes = self.nic.rx_bytes
+        interval = self.config.failover.telemetry_interval_ms * MSEC
+        self.control.telemetry(
+            backend=self,
+            record={
+                "nic": self.nic.name,
+                "host": self.host.name,
+                "link_up": self.nic.link_up,
+                "tx_bw": tx_delta / interval,
+                "rx_bw": rx_delta / interval,
+                "instances": len(self._registry),
+                "aer": self.nic.aer.total(),
+                "time": self.sim.now,
+            },
+        )
+
+    def borrow_mac(self, mac: int) -> None:
+        """Take over a failed NIC's MAC by teaching the switch (§3.3.3)."""
+        self.nic.send_raw(
+            Frame(dst_mac=BROADCAST_MAC, src_mac=mac, wire_size=64)
+        )

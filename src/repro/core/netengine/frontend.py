@@ -1,0 +1,359 @@
+"""Network engine frontend driver (§3.3).
+
+Runs on every host.  Exposes a packet I/O interface (:class:`VirtualNIC`) to
+local instances over IPC, forwards TX packets and receives RX packets from
+the backend drivers of the NICs its instances are allocated to, and enforces
+the §3.2.1 coherence rules on the frontend side:
+
+* TX: write back (CLWB) the instance's TX buffer before signalling the
+  backend, so the device's DMA read sees the bytes;
+* RX: copy the packet from the per-NIC RX buffer area into instance-local
+  memory, then invalidate (CLFLUSHOPT) the RX buffer lines so a recycled
+  buffer is never read stale.
+
+Failover (§3.3.3) and graceful migration (§3.3.4) both happen here: the
+frontend atomically reroutes an instance's TX traffic to a different backend
+link, while RX traffic is steered by the switch (MAC borrowing) or dual
+registration (migration grace period).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ...config import OasisConfig
+from ...errors import AllocationError, ChannelFullError
+from ...host.host import Host, MemDomain
+from ...host.instance import Instance
+from ...mem.layout import Region, RegionAllocator
+from ...net.packet import Frame
+from ...sim.core import NSEC, USEC, Simulator
+from ..engine import Driver
+from .messages import OP_RX, OP_RX_COMP, OP_TX, OP_TX_COMP, NetMessage
+
+__all__ = ["NetFrontend", "VirtualNIC", "BackendLink"]
+
+
+@dataclass
+class BackendLink:
+    """Frontend's view of one backend driver it can reach."""
+
+    name: str                   # backend/NIC identifier (e.g. "nic-h0")
+    tx: object                  # channel endpoint: frontend -> backend
+    rx: object                  # channel endpoint: backend -> frontend
+    rx_domain: MemDomain        # where this NIC's RX buffer area lives
+    nic_mac: int
+    remote: bool = True         # False for the colocated-baseline link
+
+
+@dataclass
+class _InstanceRecord:
+    instance: Instance
+    tx_area: RegionAllocator
+    primary: BackendLink
+    backup: Optional[BackendLink] = None
+    current_mac: int = 0
+    extra_rx: set = field(default_factory=set)   # migration grace-period links
+    tx_dropped: int = 0
+
+
+class VirtualNIC:
+    """The per-instance packet interface (Junction's vNIC equivalent)."""
+
+    def __init__(self, frontend: "NetFrontend", instance: Instance):
+        self.frontend = frontend
+        self.instance = instance
+
+    @property
+    def mac(self) -> int:
+        return self.frontend._records[self.instance.ip].current_mac
+
+    def transmit(self, frame: Frame) -> None:
+        self.frontend._instance_tx(self.instance, frame)
+
+
+class NetFrontend(Driver):
+    """One frontend driver per host, on a dedicated busy-polling core."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        buffer_domain: MemDomain,
+        tx_region: Region,
+        arp,
+        config: Optional[OasisConfig] = None,
+    ):
+        super().__init__(sim, f"fe-{host.name}", config)
+        self.host = host
+        self.domain = buffer_domain
+        self.arp = arp
+        self._tx_space = RegionAllocator(tx_region)
+        self._records: Dict[int, _InstanceRecord] = {}
+        self._links: Dict[str, BackendLink] = {}
+        self._tx_queue: deque = deque()          # (ip, Region, packed_size, wire)
+        self._tx_pending: Dict[int, tuple] = {}  # buffer addr -> (Region, ip)
+        self._retry: deque = deque()             # (link, NetMessage) on full ring
+        # Counters.
+        self.tx_forwarded = 0
+        self.rx_delivered = 0
+        self.rx_unknown_instance = 0
+        self.tx_no_buffer = 0
+
+    # -- wiring -----------------------------------------------------------------
+
+    def connect_backend(self, link: BackendLink) -> None:
+        """Attach a backend link; its RX channel wakes this driver."""
+        self._links[link.name] = link
+        link.rx.bind(self.work)
+
+    def link(self, name: str) -> BackendLink:
+        return self._links[name]
+
+    def register_instance(
+        self,
+        instance: Instance,
+        primary: BackendLink,
+        backup: Optional[BackendLink] = None,
+    ) -> VirtualNIC:
+        """Attach an instance to this frontend with its allocated NIC."""
+        if instance.ip in self._records:
+            raise AllocationError(f"instance IP {instance.ip} already registered")
+        area = self._tx_space.alloc(
+            self.config.datapath.instance_tx_area_bytes, f"txarea-{instance.name}"
+        )
+        record = _InstanceRecord(
+            instance=instance,
+            tx_area=RegionAllocator(area),
+            primary=primary,
+            backup=backup,
+            current_mac=primary.nic_mac,
+        )
+        self._records[instance.ip] = record
+        vnic = VirtualNIC(self, instance)
+        instance.attach_vnic(vnic)
+        self.arp.announce(instance.ip, primary.nic_mac)
+        return vnic
+
+    # -- TX: instance side (runs in instance context) ------------------------------
+
+    def _instance_tx(self, instance: Instance, frame: Frame) -> None:
+        record = self._records.get(instance.ip)
+        if record is None:
+            raise AllocationError(f"instance {instance.name} not registered")
+        # The instance's network stack fills the Ethernet header.
+        frame.src_mac = record.current_mac
+        if frame.dst_mac == 0:
+            frame.dst_mac = self.arp.lookup(frame.dst_ip)
+        data = frame.pack()
+        try:
+            region = record.tx_area.alloc(len(data))
+        except Exception:
+            record.tx_dropped += 1
+            self.tx_no_buffer += 1
+            return
+        store_ns = self.domain.cache.store(region.base, data, category="payload")
+        delay = self.config.datapath.ipc_hop_us * USEC + store_ns * NSEC
+        self.sim.schedule(delay, self._ipc_tx_arrive, instance.ip, region,
+                          len(data), frame.wire_size)
+
+    def _ipc_tx_arrive(self, ip: int, region: Region, packed: int, wire: int) -> None:
+        self._tx_queue.append((ip, region, packed, wire))
+        self.kick()
+
+    # -- driver loop ---------------------------------------------------------------------
+
+    #: per-item frontend CPU costs, ns
+    TX_ITEM_NS = 120.0
+    RX_ITEM_NS = 150.0
+
+    def _process(self) -> tuple:
+        items = 0
+        cost = 0.0
+        n, c = self._process_tx()
+        items += n
+        cost += c
+        n, c = self._process_backend_messages()
+        items += n
+        cost += c
+        n, c = self._process_retries()
+        items += n
+        cost += c
+        return items, cost
+
+    def _process_tx(self, batch: int = 64) -> tuple:
+        cost = 0.0
+        per_link: Dict[str, list] = {}
+        count = 0
+        while self._tx_queue and count < batch:
+            ip, region, packed, wire = self._tx_queue.popleft()
+            record = self._records.get(ip)
+            if record is None:
+                continue
+            # Write back the TX buffer so the remote NIC's DMA sees it.
+            cost += self.domain.cache.clwb_range(region.base, packed, category="payload")
+            self._tx_pending[region.base] = (region, ip)
+            message = NetMessage(OP_TX, packed, ip, region.base)
+            per_link.setdefault(record.primary.name, []).append(message)
+            cost += self.TX_ITEM_NS
+            count += 1
+        for link_name, messages in per_link.items():
+            __, c = self._send_link(self._links[link_name], messages)
+            cost += c
+            self.tx_forwarded += len(messages)
+        return count, cost
+
+    def _send_link(self, link: BackendLink, messages) -> tuple:
+        try:
+            return True, link.tx.send_many([m.pack() for m in messages])
+        except ChannelFullError:
+            for message in messages:
+                self._retry.append((link, message))
+            return False, 200.0
+
+    def _process_retries(self) -> tuple:
+        if not self._retry:
+            return 0, 0.0
+        cost = 0.0
+        sent = 0
+        pending, self._retry = self._retry, deque()
+        for link, message in pending:
+            ok, c = self._send_link(link, [message])
+            cost += c
+            if ok:
+                sent += 1
+        if self._retry:
+            # Ring still full: back off instead of spinning.
+            self.sim.schedule(5e-6, self.kick)
+        return sent, cost
+
+    def _process_backend_messages(self) -> tuple:
+        cost = 0.0
+        items = 0
+        for link in self._links.values():
+            payloads, drain_cost = link.rx.drain()
+            cost += drain_cost
+            items += len(payloads)
+            comp_batch = []
+            for raw in payloads:
+                message = NetMessage.unpack(raw)
+                if message.opcode == OP_TX_COMP:
+                    cost += self._handle_tx_comp(message)
+                elif message.opcode == OP_RX:
+                    cost += self._handle_rx(link, message)
+                    comp_batch.append(
+                        NetMessage(OP_RX_COMP, 0, message.instance_ip,
+                                   message.buffer_addr)
+                    )
+                else:
+                    cost += 20.0
+            if comp_batch:
+                __, c = self._send_link(link, comp_batch)
+                cost += c
+        return items, cost
+
+    def _handle_tx_comp(self, message: NetMessage) -> float:
+        entry = self._tx_pending.pop(message.buffer_addr, None)
+        if entry is None:
+            return 20.0
+        region, ip = entry
+        record = self._records.get(ip)
+        if record is not None:
+            record.tx_area.free(region)
+        return 40.0
+
+    def _handle_rx(self, link: BackendLink, message: NetMessage) -> float:
+        """Copy an RX packet out of the shared buffer and hand it over IPC."""
+        record = self._records.get(message.instance_ip)
+        cost = self.RX_ITEM_NS
+        # Read the packet through *this host's* cache, then invalidate the
+        # buffer lines: a recycled buffer must never be read stale (§3.3.1).
+        # (Shared RX areas are read through our own cache; a baseline-mode
+        # local RX area is the colocated NIC host's DDR.)
+        if link.rx_domain.is_shared:
+            rx_cache = self.host.shared.cache
+        else:
+            rx_cache = link.rx_domain.cache
+        data, load_ns = rx_cache.load(
+            message.buffer_addr, message.size, category="payload"
+        )
+        cost += load_ns
+        cost += rx_cache.clflush_range(
+            message.buffer_addr, message.size, category="payload"
+        )
+        if record is None:
+            self.rx_unknown_instance += 1
+            return cost
+        frame = Frame.unpack(data)
+        self.rx_delivered += 1
+        self.sim.schedule(
+            self.config.datapath.ipc_hop_us * USEC,
+            record.instance.deliver_frame,
+            frame,
+        )
+        return cost
+
+    # -- failover & migration (called by the pod-wide allocator client) ---------------
+
+    def fail_over(self, failed_link_name: str,
+                  replacement_link_name: Optional[str] = None) -> int:
+        """Reroute every instance on ``failed_link_name`` to the allocator's
+        chosen replacement NIC (falling back to the instance's pre-registered
+        backup when no replacement is named).
+
+        TX buffers already in shared CXL memory need no copying (§3.3.3).
+        The per-instance backup registration makes the switch instant, but
+        the *authoritative* target comes from the allocator: an instance's
+        stale backup choice may itself be the failed NIC (e.g. after a
+        migration), which must never be selected.  Returns the number of
+        instances moved.
+        """
+        replacement = (self._links.get(replacement_link_name)
+                       if replacement_link_name else None)
+        moved = 0
+        for record in self._records.values():
+            if record.primary.name != failed_link_name:
+                continue
+            target = replacement
+            if target is None or target.name == failed_link_name:
+                target = record.backup
+            if target is None or target.name == failed_link_name:
+                continue   # nowhere safe to go; allocator will retry
+            record.primary = target
+            if record.backup is not None and \
+                    record.backup.name in (failed_link_name, target.name):
+                record.backup = None
+            # MAC borrowing keeps the instance's MAC unchanged.
+            moved += 1
+        return moved
+
+    def migrate_instance(self, ip: int, new_link: BackendLink,
+                         grace_period_s: Optional[float] = None) -> None:
+        """Gracefully move an instance's traffic to ``new_link`` (§3.3.4)."""
+        record = self._records[ip]
+        old = record.primary
+        record.extra_rx.add(old.name)
+        record.primary = new_link
+        record.current_mac = new_link.nic_mac
+        # The instance's stack broadcasts GARP announcing the new MAC.
+        self.arp.announce(ip, new_link.nic_mac, garp=True)
+        grace = (grace_period_s if grace_period_s is not None
+                 else self.config.failover.migration_grace_period_s)
+        self.sim.schedule(grace, self._finish_migration, ip, old.name)
+
+    def _finish_migration(self, ip: int, old_link_name: str) -> None:
+        record = self._records.get(ip)
+        if record is not None:
+            record.extra_rx.discard(old_link_name)
+        handler = getattr(self, "on_unregister", None)
+        if handler is not None:
+            handler(ip, old_link_name)
+
+    @property
+    def instance_count(self) -> int:
+        return len(self._records)
+
+    def record_of(self, ip: int) -> _InstanceRecord:
+        return self._records[ip]

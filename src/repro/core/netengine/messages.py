@@ -1,0 +1,56 @@
+"""The network engine's 16 B message format (§3.3.1).
+
+Every frontend<->backend signal is one fixed 16 B message: an 8 B buffer
+pointer, a 2 B packet size, a 1 B opcode and a 4 B instance IP (plus one pad
+byte).  The epoch bit lives in the opcode's MSB, so opcodes stay below 0x80.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ...errors import ChannelError
+
+__all__ = [
+    "NetMessage",
+    "OP_TX",
+    "OP_TX_COMP",
+    "OP_RX",
+    "OP_RX_COMP",
+    "NET_MESSAGE_SIZE",
+]
+
+OP_TX = 0x01        # frontend -> backend: transmit buffer
+OP_TX_COMP = 0x02   # backend -> frontend: TX buffer done, free it
+OP_RX = 0x03        # backend -> frontend: RX packet for instance
+OP_RX_COMP = 0x04   # frontend -> backend: RX buffer consumed, recycle it
+
+_FMT = struct.Struct("<BHIQx")   # opcode, size, instance ip, buffer pointer
+NET_MESSAGE_SIZE = _FMT.size     # 16 bytes
+
+_VALID_OPS = {OP_TX, OP_TX_COMP, OP_RX, OP_RX_COMP}
+
+
+@dataclass(frozen=True)
+class NetMessage:
+    """One decoded network-engine message."""
+
+    opcode: int
+    size: int
+    instance_ip: int
+    buffer_addr: int
+
+    def pack(self) -> bytes:
+        if self.opcode not in _VALID_OPS:
+            raise ChannelError(f"invalid network-engine opcode {self.opcode:#x}")
+        if not 0 <= self.size <= 0xFFFF:
+            raise ChannelError(f"packet size {self.size} does not fit in 2 bytes")
+        return _FMT.pack(self.opcode, self.size, self.instance_ip, self.buffer_addr)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "NetMessage":
+        opcode, size, ip, addr = _FMT.unpack(data)
+        if opcode not in _VALID_OPS:
+            raise ChannelError(f"invalid network-engine opcode {opcode:#x}")
+        return cls(opcode=opcode, size=size, instance_ip=ip, buffer_addr=addr)

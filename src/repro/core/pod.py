@@ -1,0 +1,367 @@
+"""CXLPod: the top-level Oasis system wiring.
+
+This is the library's main entry point.  A pod bundles:
+
+* one shared :class:`~repro.mem.cxl.CXLMemoryPool` (the multi-headed device),
+* hosts with non-coherent caches and network-engine frontend drivers,
+* pooled NICs with backend drivers, cabled to one learning switch,
+* the pod-wide allocator (optionally replicated with Raft),
+* the shared-region bookkeeping and all frontend<->backend message channels.
+
+Three datapath modes regenerate the paper's comparison points:
+
+* ``"oasis"`` -- I/O buffers in shared CXL memory, signalling over
+  cross-host non-coherent message channels (the full system);
+* ``"local"`` -- the Junction baseline: local-DDR buffers, local signalling,
+  each host uses its own NIC;
+* ``"local-cxl-buffers"`` -- Figure 11's middle bar: buffers in CXL memory
+  but signalling still local.
+
+Typical use::
+
+    pod = CXLPod(mode="oasis")
+    h0, h1 = pod.add_host(), pod.add_host()
+    nic = pod.add_nic(h0)
+    pod.add_nic(h1, is_backup=True)
+    inst = pod.add_instance(h1, ip=make_ip(10, 0, 0, 1))   # remote NIC!
+    client = pod.add_external_client(ip=make_ip(10, 0, 9, 1))
+    ...
+    pod.run(1.0)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..config import OasisConfig
+from ..errors import ConfigError
+from ..host.host import Host
+from ..host.instance import Instance, ResourceSpec
+from ..mem.cxl import CXLMemoryPool
+from ..net.endpoint import ExternalEndpoint
+from ..net.packet import make_ip, make_mac
+from ..net.switch import LearningSwitch
+from ..pcie.nic import SimNIC
+from ..sim.core import Simulator
+from ..sim.rng import RngFactory
+from .allocator import AllocatorClient, PodAllocator
+from .arp import ArpRegistry
+from .datapath import ChannelPair, SharedRegions
+from .netengine.backend import FrontendLink, NetBackend
+from .netengine.frontend import BackendLink, NetFrontend
+from .raft import DirectTransport, RaftNode
+
+__all__ = ["CXLPod"]
+
+_MODES = ("oasis", "local", "local-cxl-buffers")
+
+
+class CXLPod:
+    """A rack-scale CXL pod running the Oasis network engine."""
+
+    def __init__(
+        self,
+        config: Optional[OasisConfig] = None,
+        mode: str = "oasis",
+        channel_hop_us: float = 2.8,
+    ):
+        if mode not in _MODES:
+            raise ConfigError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.config = (config or OasisConfig()).validate()
+        self.mode = mode
+        self.channel_hop_us = channel_hop_us
+        self.sim = Simulator()
+        self.rng = RngFactory(self.config.seed)
+        self.pool = CXLMemoryPool(self.config.cxl)
+        self.regions = SharedRegions(self.pool, self.config)
+        self.switch = LearningSwitch(self.sim)
+        self.arp = ArpRegistry()
+        self.allocator = PodAllocator(self.sim, self.config)
+        self.hosts: List[Host] = []
+        self.frontends: Dict[str, NetFrontend] = {}
+        self.backends: Dict[str, NetBackend] = {}
+        self.nics: Dict[str, SimNIC] = {}
+        self.instances: Dict[int, Instance] = {}
+        self.clients: Dict[int, ExternalEndpoint] = {}
+        self.raft_nodes: List[RaftNode] = []
+        self.storage_backends: Dict[str, object] = {}
+        self.storage_frontends: Dict[str, object] = {}
+        self._next_client_index = 200
+
+    # -- topology ------------------------------------------------------------------
+
+    def add_host(self, name: Optional[str] = None) -> Host:
+        """Add a host with a network-engine frontend driver."""
+        index = len(self.hosts)
+        host = Host(self.sim, name or f"h{index}", self.pool, self.config, index)
+        self.hosts.append(host)
+
+        buffer_domain = host.local if self.mode == "local" else host.shared
+        if buffer_domain.is_shared:
+            tx_region = self.regions.alloc_tx_region(host.name)
+        else:
+            # Baseline: TX region in host-local DDR.
+            from ..mem.layout import Region, RegionAllocator
+
+            tx_region = Region(1 << 30, self.config.datapath.tx_region_bytes,
+                               f"tx-{host.name}-local")
+        frontend = NetFrontend(self.sim, host, buffer_domain, tx_region,
+                               self.arp, self.config)
+        frontend.on_unregister = self._on_migration_unregister
+        self.frontends[host.name] = frontend
+        self.allocator.register_frontend(host.name, frontend)
+        frontend.start()
+
+        # Connect the new frontend to every existing backend (oasis mode).
+        if self.mode == "oasis":
+            for backend in self.backends.values():
+                self._wire(frontend, backend)
+        return host
+
+    def add_nic(self, host: Host, is_backup: bool = False,
+                name: Optional[str] = None) -> SimNIC:
+        """Attach a NIC to ``host``, with its backend driver, and pool it."""
+        mac = make_mac(host.index, len(host.devices))
+        device_index = sum(1 for n in self.nics.values() if n.host is host)
+        default_name = (f"nic-{host.name}" if device_index == 0
+                        else f"nic-{host.name}-{device_index}")
+        nic = SimNIC(self.sim, host, mac, self.config.nic,
+                     name=name or default_name)
+        nic.connect(self.switch.new_port())
+        self.nics[nic.name] = nic
+
+        rx_local = self.mode == "local"
+        rx_domain = host.local if rx_local else host.shared
+        if rx_local:
+            from ..mem.layout import Region
+
+            rx_region = Region(8 << 30, self.config.datapath.rx_region_bytes,
+                               f"rx-{nic.name}-local")
+        else:
+            rx_region = self.regions.alloc_rx_region(nic.name)
+        backend = NetBackend(self.sim, host, nic, rx_domain, rx_region,
+                             self.config, tx_buffers_local=(self.mode == "local"))
+        backend.control = AllocatorClient(self.sim, self.allocator)
+        self.backends[nic.name] = backend
+        self.allocator.register_backend(backend, self.config.nic.bandwidth_gbps,
+                                        is_backup=is_backup)
+        backend.start()
+        backend.start_monitors()
+
+        if self.mode == "oasis":
+            for frontend in self.frontends.values():
+                self._wire(frontend, backend)
+        else:
+            # Baseline modes: only the colocated frontend talks to this NIC.
+            self._wire(self.frontends[host.name], backend)
+        return nic
+
+    def _wire(self, frontend: NetFrontend, backend: NetBackend) -> None:
+        """Create the per-(frontend, backend) channel pair (§3.2.2)."""
+        name = f"{frontend.host.name}-{backend.nic.name}"
+        if self.mode == "oasis":
+            pair = ChannelPair.over_cxl(
+                self.sim, self.regions,
+                frontend.host.shared.cache, backend.host.shared.cache,
+                name, message_size=self.config.datapath.net_message_bytes,
+                hop_us=self.channel_hop_us,
+                slots=self.config.datapath.channel_slots,
+            )
+        else:
+            pair = ChannelPair.local(self.sim, name)
+        frontend.connect_backend(BackendLink(
+            name=backend.nic.name, tx=pair.a_to_b, rx=pair.b_to_a,
+            rx_domain=backend.rx_domain, nic_mac=backend.nic.mac,
+            remote=frontend.host is not backend.host,
+        ))
+        backend.connect_frontend(FrontendLink(
+            name=frontend.host.name, tx=pair.b_to_a, rx=pair.a_to_b,
+        ))
+
+    # -- instances and clients ----------------------------------------------------------
+
+    def add_instance(
+        self,
+        host: Host,
+        ip: int,
+        name: Optional[str] = None,
+        spec: Optional[ResourceSpec] = None,
+        nic: Optional[SimNIC] = None,
+    ) -> Instance:
+        """Launch an instance; the allocator picks its NIC unless given."""
+        spec = spec or ResourceSpec()
+        instance = Instance(self.sim, name or f"inst-{len(self.instances)}",
+                            host, ip, spec)
+        self.instances[ip] = instance
+        frontend = self.frontends[host.name]
+
+        if nic is not None:
+            primary_name, backup_name = nic.name, None
+            backup = self.allocator.policy.choose_backup(
+                self.allocator.devices, exclude=nic.name
+            )
+            if backup is not None:
+                backup_name = backup.name
+            self.allocator.assignments[ip] = primary_name
+            self.allocator.leases.grant(ip, primary_name, self.sim.now)
+            self.allocator.devices[primary_name].allocated += spec.nic_gbps
+        else:
+            primary_name, backup_name = self.allocator.place_instance(
+                ip, host.name, spec.nic_gbps
+            )
+
+        primary_backend = self.backends[primary_name]
+        primary_backend.register_instance(ip, host.name)
+        backup_link = None
+        if backup_name is not None and self.mode == "oasis":
+            # Register with the backup NIC at launch so failover is instant.
+            backup_backend = self.backends[backup_name]
+            backup_backend.register_instance(ip, host.name)
+            backup_link = frontend.link(backup_name)
+        frontend.register_instance(instance, frontend.link(primary_name),
+                                   backup=backup_link)
+        return instance
+
+    # -- storage engine (§3.4) ------------------------------------------------------
+
+    def add_ssd(self, host: Host, name: Optional[str] = None):
+        """Attach an NVMe SSD to ``host`` with a storage backend driver."""
+        from ..pcie.ssd import SimSSD
+        from .storage.backend import StorageBackend
+
+        ssd = SimSSD(self.sim, host, self.config.ssd,
+                     name=name or f"ssd-{host.name}-{len(host.devices)}")
+        backend = StorageBackend(self.sim, host, ssd, self.config)
+        self.storage_backends[ssd.name] = backend
+        backend.control = AllocatorClient(self.sim, self.allocator,
+                                          storage=True)
+        self.allocator.register_storage_backend(
+            backend, self.config.ssd.capacity_bytes / 1e12
+        )
+        backend.start()
+        backend.start_monitors()
+        return ssd
+
+    def _storage_frontend(self, host: Host):
+        from .storage.frontend import StorageFrontend
+
+        frontend = self.storage_frontends.get(host.name)
+        if frontend is None:
+            domain = host.local if self.mode == "local" else host.shared
+            if domain.is_shared:
+                region = self.regions.alloc(256 << 20, f"sbuf-{host.name}")
+            else:
+                from ..mem.layout import Region
+
+                region = Region(12 << 30, 256 << 20, f"sbuf-{host.name}-local")
+            frontend = StorageFrontend(self.sim, host, domain, region, self.config)
+            frontend.start()
+            self.storage_frontends[host.name] = frontend
+        return frontend
+
+    def add_block_device(self, instance: Instance, ssd=None):
+        """Give ``instance`` a block device backed by ``ssd``.
+
+        When ``ssd`` is omitted the pod-wide allocator places the instance
+        (host-local SSD first, then the least-loaded drive in the pod, §3.5).
+        """
+        if ssd is None:
+            name = self.allocator.place_storage(
+                instance.ip, instance.host.name, instance.spec.ssd_tb
+            )
+            ssd = self.storage_backends[name].ssd
+        frontend = self._storage_frontend(instance.host)
+        backend = self.storage_backends[ssd.name]
+        link_key = f"{instance.host.name}-{ssd.name}"
+        if ssd.name not in frontend._links:
+            if self.mode == "oasis":
+                pair = ChannelPair.over_cxl(
+                    self.sim, self.regions,
+                    instance.host.shared.cache, ssd.host.shared.cache,
+                    f"st-{link_key}",
+                    message_size=self.config.datapath.storage_message_bytes,
+                    hop_us=self.channel_hop_us,
+                    slots=self.config.datapath.channel_slots,
+                )
+            else:
+                pair = ChannelPair.local(self.sim, f"st-{link_key}")
+            frontend.connect_backend(ssd.name, pair.a_to_b, pair.b_to_a)
+            backend.connect_frontend(instance.host.name, pair.b_to_a, pair.a_to_b)
+        return frontend.make_device(instance, ssd.name, self.config.ssd.block_size)
+
+    def add_external_client(self, ip: int, name: Optional[str] = None,
+                            stack_latency_us: float = 0.7) -> ExternalEndpoint:
+        """Attach a bare-metal load driver straight to the switch (§5)."""
+        index = self._next_client_index
+        self._next_client_index += 1
+        client = ExternalEndpoint(
+            self.sim, name or f"client-{index}", make_mac(index), ip,
+            self.switch.new_port(), stack_latency_us,
+        )
+        client.set_arp(self.arp)
+        self.arp.announce(ip, client.mac)
+        self.clients[ip] = client
+        return client
+
+    # -- control-plane replication --------------------------------------------------------
+
+    def enable_raft(self, replicas: int = 3, latency_us: float = 5.0) -> None:
+        """Replicate the allocator with Raft across ``replicas`` hosts."""
+        transport = DirectTransport(self.sim, latency_us)
+        ids = [f"alloc-{i}" for i in range(replicas)]
+        for i, node_id in enumerate(ids):
+            # The allocator's colocated node gets a short election timeout so
+            # it (deterministically) wins the first election.
+            timeouts = (60.0, 90.0) if i == 0 else (150.0, 300.0)
+            node = RaftNode(
+                self.sim, node_id, ids, transport,
+                apply_cb=self.allocator.apply if i == 0 else None,
+                election_timeout_ms=timeouts,
+                rng=self.rng.get(f"raft-{node_id}"),
+            )
+            self.raft_nodes.append(node)
+        self.allocator.attach_raft(self.raft_nodes[0])
+        for node in self.raft_nodes:
+            node.start()
+
+    # -- failure injection -------------------------------------------------------------------
+
+    def _on_migration_unregister(self, ip: int, old_link_name: str) -> None:
+        """Grace period over: release the instance's old-NIC registration."""
+        backend = self.backends.get(old_link_name)
+        if backend is not None:
+            backend.unregister_instance(ip)
+
+    def fail_switch_port(self, nic: SimNIC) -> None:
+        """The paper's failure injection: disable the NIC's switch port."""
+        nic.port.set_enabled(False)
+
+    def fail_nic(self, nic: SimNIC) -> None:
+        nic.fail()
+
+    # -- running -----------------------------------------------------------------------------
+
+    def run(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        self.sim.run(until=self.sim.now + duration)
+
+    # -- measurement helpers --------------------------------------------------------------------
+
+    def cxl_traffic_by_category(self) -> Dict[str, int]:
+        """Pod-wide CXL link bytes by category (payload/message/counter)."""
+        merged: Dict[str, int] = {}
+        for stats in self.pool.link_stats.values():
+            for category, nbytes in stats.by_category().items():
+                merged[category] = merged.get(category, 0) + nbytes
+        return merged
+
+    def stop(self) -> None:
+        for driver in (list(self.frontends.values())
+                       + list(self.backends.values())
+                       + list(self.storage_frontends.values())
+                       + list(self.storage_backends.values())):
+            driver.stop()
+        for backend in self.backends.values():
+            backend.stop_monitors()
+        for backend in self.storage_backends.values():
+            backend.stop_monitors()

@@ -1,0 +1,16 @@
+"""Raft consensus substrate for the replicated pod-wide allocator."""
+
+from .log import LogEntry, RaftLog
+from .node import CANDIDATE, FOLLOWER, LEADER, RaftNode
+from .rpc import ChannelRpcTransport, DirectTransport
+
+__all__ = [
+    "RaftNode",
+    "RaftLog",
+    "LogEntry",
+    "FOLLOWER",
+    "CANDIDATE",
+    "LEADER",
+    "DirectTransport",
+    "ChannelRpcTransport",
+]

@@ -1,0 +1,77 @@
+"""Raft replicated log."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+__all__ = ["LogEntry", "RaftLog"]
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One committed-or-pending log entry."""
+
+    term: int
+    command: Any
+
+
+class RaftLog:
+    """1-indexed append-only log with conflict truncation (Raft §5.3)."""
+
+    def __init__(self):
+        self._entries: List[LogEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_index(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_term(self) -> int:
+        return self._entries[-1].term if self._entries else 0
+
+    def term_at(self, index: int) -> int:
+        """Term of entry ``index``; index 0 is the sentinel with term 0."""
+        if index == 0:
+            return 0
+        return self._entries[index - 1].term
+
+    def entry(self, index: int) -> LogEntry:
+        return self._entries[index - 1]
+
+    def append(self, entry: LogEntry) -> int:
+        self._entries.append(entry)
+        return self.last_index
+
+    def entries_from(self, index: int) -> List[LogEntry]:
+        """Entries at positions >= ``index``."""
+        return self._entries[index - 1:]
+
+    def matches(self, index: int, term: int) -> bool:
+        """AppendEntries consistency check for (prev_index, prev_term)."""
+        if index == 0:
+            return True
+        if index > self.last_index:
+            return False
+        return self.term_at(index) == term
+
+    def merge(self, prev_index: int, entries: List[LogEntry]) -> None:
+        """Append ``entries`` after ``prev_index``, truncating conflicts."""
+        for offset, entry in enumerate(entries):
+            index = prev_index + 1 + offset
+            if index <= self.last_index:
+                if self.term_at(index) != entry.term:
+                    del self._entries[index - 1:]
+                    self._entries.append(entry)
+                # else: already have it (idempotent)
+            else:
+                self._entries.append(entry)
+
+    def up_to_date(self, other_last_index: int, other_last_term: int) -> bool:
+        """Is (other_last_term, other_last_index) at least as current as us?"""
+        if other_last_term != self.last_term:
+            return other_last_term > self.last_term
+        return other_last_index >= self.last_index

@@ -1,0 +1,293 @@
+"""Raft consensus (Ongaro & Ousterhout, ATC '14).
+
+The pod-wide allocator replicates its state machine with Raft (§3.5).  This
+is a complete single-decree-free implementation: randomized election
+timeouts, leader election with the up-to-date check, log replication with
+conflict truncation, commitment only of current-term entries, and state
+machine application callbacks.  Messages travel over a pluggable transport
+(see :mod:`repro.core.raft.rpc`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ...sim.core import MSEC, Simulator
+from .log import LogEntry, RaftLog
+
+__all__ = ["RaftNode", "FOLLOWER", "CANDIDATE", "LEADER"]
+
+FOLLOWER = "follower"
+CANDIDATE = "candidate"
+LEADER = "leader"
+
+
+class RaftNode:
+    """One Raft peer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: str,
+        peers: List[str],
+        transport,
+        apply_cb: Optional[Callable[[int, Any], None]] = None,
+        election_timeout_ms: tuple = (150.0, 300.0),
+        heartbeat_ms: float = 50.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.peers = [p for p in peers if p != node_id]
+        self.transport = transport
+        self.apply_cb = apply_cb
+        self.election_timeout_ms = election_timeout_ms
+        self.heartbeat_ms = heartbeat_ms
+        self.rng = rng if rng is not None else np.random.default_rng(hash(node_id) & 0xFFFF)
+
+        self.state = FOLLOWER
+        self.current_term = 0
+        self.voted_for: Optional[str] = None
+        self.log = RaftLog()
+        self.commit_index = 0
+        self.last_applied = 0
+        self.leader_id: Optional[str] = None
+        self._votes: set = set()
+        self.next_index: Dict[str, int] = {}
+        self.match_index: Dict[str, int] = {}
+        self._election_timer = None
+        self._heartbeat_timer = None
+        self.alive = True
+
+        transport.register(node_id, self._on_message)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        self._reset_election_timer()
+
+    def crash(self) -> None:
+        """Stop participating (volatile state survives for restart tests)."""
+        self.alive = False
+        self._cancel_timers()
+
+    def restart(self) -> None:
+        self.alive = True
+        self.state = FOLLOWER
+        self.leader_id = None
+        self._reset_election_timer()
+
+    def _cancel_timers(self) -> None:
+        for timer in (self._election_timer, self._heartbeat_timer):
+            if timer is not None:
+                timer.cancel()
+        self._election_timer = None
+        self._heartbeat_timer = None
+
+    # -- timers ------------------------------------------------------------------
+
+    def _reset_election_timer(self) -> None:
+        if self._election_timer is not None:
+            self._election_timer.cancel()
+        lo, hi = self.election_timeout_ms
+        timeout = float(self.rng.uniform(lo, hi)) * MSEC
+        self._election_timer = self.sim.schedule(timeout, self._on_election_timeout)
+
+    def _on_election_timeout(self) -> None:
+        if not self.alive or self.state == LEADER:
+            return
+        self._start_election()
+
+    def _start_heartbeats(self) -> None:
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+        self._broadcast_append()
+        self._heartbeat_timer = self.sim.schedule(
+            self.heartbeat_ms * MSEC, self._on_heartbeat
+        )
+
+    def _on_heartbeat(self) -> None:
+        if not self.alive or self.state != LEADER:
+            return
+        self._broadcast_append()
+        self._heartbeat_timer = self.sim.schedule(
+            self.heartbeat_ms * MSEC, self._on_heartbeat
+        )
+
+    # -- elections ----------------------------------------------------------------
+
+    def _start_election(self) -> None:
+        self.state = CANDIDATE
+        self.current_term += 1
+        self.voted_for = self.node_id
+        self._votes = {self.node_id}
+        self.leader_id = None
+        self._reset_election_timer()
+        for peer in self.peers:
+            self._send(peer, {
+                "type": "request_vote",
+                "term": self.current_term,
+                "candidate": self.node_id,
+                "last_log_index": self.log.last_index,
+                "last_log_term": self.log.last_term,
+            })
+        self._maybe_win()
+
+    def _maybe_win(self) -> None:
+        if self.state != CANDIDATE:
+            return
+        if len(self._votes) * 2 > len(self.peers) + 1:
+            self._become_leader()
+
+    def _become_leader(self) -> None:
+        self.state = LEADER
+        self.leader_id = self.node_id
+        for peer in self.peers:
+            self.next_index[peer] = self.log.last_index + 1
+            self.match_index[peer] = 0
+        if self._election_timer is not None:
+            self._election_timer.cancel()
+        self._start_heartbeats()
+
+    # -- client interface ---------------------------------------------------------------
+
+    @property
+    def is_leader(self) -> bool:
+        return self.alive and self.state == LEADER
+
+    def propose(self, command: Any) -> Optional[int]:
+        """Append a command; returns its log index, or None if not leader."""
+        if not self.is_leader:
+            return None
+        index = self.log.append(LogEntry(self.current_term, command))
+        self.match_index[self.node_id] = index
+        self._broadcast_append()
+        if not self.peers:
+            self._advance_commit()
+        return index
+
+    # -- message handling -----------------------------------------------------------------
+
+    def _send(self, dst: str, message: dict) -> None:
+        self.transport.send(self.node_id, dst, message)
+
+    def _on_message(self, src: str, message: dict) -> None:
+        if not self.alive:
+            return
+        term = message.get("term", 0)
+        if term > self.current_term:
+            self.current_term = term
+            self.voted_for = None
+            self._step_down()
+        handler = {
+            "request_vote": self._on_request_vote,
+            "request_vote_reply": self._on_request_vote_reply,
+            "append_entries": self._on_append_entries,
+            "append_entries_reply": self._on_append_entries_reply,
+        }.get(message.get("type"))
+        if handler is not None:
+            handler(src, message)
+
+    def _step_down(self) -> None:
+        if self.state != FOLLOWER:
+            self.state = FOLLOWER
+            if self._heartbeat_timer is not None:
+                self._heartbeat_timer.cancel()
+                self._heartbeat_timer = None
+        self._reset_election_timer()
+
+    def _on_request_vote(self, src: str, m: dict) -> None:
+        grant = False
+        if m["term"] >= self.current_term:
+            log_ok = self.log.up_to_date(m["last_log_index"], m["last_log_term"])
+            if log_ok and self.voted_for in (None, m["candidate"]):
+                grant = True
+                self.voted_for = m["candidate"]
+                self._reset_election_timer()
+        self._send(src, {
+            "type": "request_vote_reply",
+            "term": self.current_term,
+            "granted": grant,
+        })
+
+    def _on_request_vote_reply(self, src: str, m: dict) -> None:
+        if self.state != CANDIDATE or m["term"] < self.current_term:
+            return
+        if m.get("granted"):
+            self._votes.add(src)
+            self._maybe_win()
+
+    def _broadcast_append(self) -> None:
+        for peer in self.peers:
+            self._send_append(peer)
+
+    def _send_append(self, peer: str) -> None:
+        prev_index = self.next_index.get(peer, self.log.last_index + 1) - 1
+        entries = self.log.entries_from(prev_index + 1)
+        self._send(peer, {
+            "type": "append_entries",
+            "term": self.current_term,
+            "leader": self.node_id,
+            "prev_index": prev_index,
+            "prev_term": self.log.term_at(prev_index),
+            "entries": [[e.term, e.command] for e in entries],
+            "leader_commit": self.commit_index,
+        })
+
+    def _on_append_entries(self, src: str, m: dict) -> None:
+        success = False
+        match = 0
+        if m["term"] >= self.current_term:
+            self.leader_id = m["leader"]
+            if self.state != FOLLOWER:
+                self._step_down()
+            else:
+                self._reset_election_timer()
+            if self.log.matches(m["prev_index"], m["prev_term"]):
+                entries = [LogEntry(t, c) for t, c in m["entries"]]
+                self.log.merge(m["prev_index"], entries)
+                success = True
+                match = m["prev_index"] + len(entries)
+                if m["leader_commit"] > self.commit_index:
+                    self.commit_index = min(m["leader_commit"], self.log.last_index)
+                    self._apply()
+        self._send(src, {
+            "type": "append_entries_reply",
+            "term": self.current_term,
+            "success": success,
+            "match_index": match,
+        })
+
+    def _on_append_entries_reply(self, src: str, m: dict) -> None:
+        if self.state != LEADER or m["term"] < self.current_term:
+            return
+        if m["success"]:
+            self.match_index[src] = max(self.match_index.get(src, 0), m["match_index"])
+            self.next_index[src] = self.match_index[src] + 1
+            self._advance_commit()
+        else:
+            self.next_index[src] = max(1, self.next_index.get(src, 1) - 1)
+            self._send_append(src)
+
+    def _advance_commit(self) -> None:
+        """Commit the highest index replicated on a majority (current term)."""
+        cluster = len(self.peers) + 1
+        for index in range(self.log.last_index, self.commit_index, -1):
+            if self.log.term_at(index) != self.current_term:
+                break
+            replicas = 1 + sum(
+                1 for peer in self.peers if self.match_index.get(peer, 0) >= index
+            )
+            if replicas * 2 > cluster:
+                self.commit_index = index
+                self._apply()
+                break
+
+    def _apply(self) -> None:
+        while self.last_applied < self.commit_index:
+            self.last_applied += 1
+            entry = self.log.entry(self.last_applied)
+            if self.apply_cb is not None:
+                self.apply_cb(self.last_applied, entry.command)

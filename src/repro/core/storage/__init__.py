@@ -1,0 +1,29 @@
+"""Oasis storage engine: SSD pooling (§3.4).
+
+The paper designs this engine but does not implement it; we implement it
+fully, mirroring the network engine's structure with 64 B NVMe-style
+messages.
+"""
+
+from .backend import StorageBackend
+from .frontend import StorageFrontend, VirtualBlockDevice
+from .messages import (
+    SOP_COMPLETION,
+    SOP_FLUSH,
+    SOP_READ,
+    SOP_WRITE,
+    STORAGE_MESSAGE_SIZE,
+    StorageMessage,
+)
+
+__all__ = [
+    "StorageFrontend",
+    "StorageBackend",
+    "VirtualBlockDevice",
+    "StorageMessage",
+    "SOP_READ",
+    "SOP_WRITE",
+    "SOP_FLUSH",
+    "SOP_COMPLETION",
+    "STORAGE_MESSAGE_SIZE",
+]

@@ -1,0 +1,185 @@
+"""Storage engine frontend driver (§3.4).
+
+Provides local instances with a block-device interface
+(:class:`VirtualBlockDevice`) and forwards I/O requests/completions to the
+backend driver of the SSD each instance is allocated to, over 64 B message
+channels.  Buffer handling mirrors the network engine: data buffers live in
+shared CXL memory, are written back (CLWB) before the request is signalled,
+and read buffers are invalidated after the copy-out so recycled buffers are
+never read stale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ...config import OasisConfig
+from ...errors import AllocationError, ChannelFullError, DeviceFailedError
+from ...host.host import Host, MemDomain
+from ...mem.layout import Region, RegionAllocator
+from ...sim.core import NSEC, USEC, Simulator
+from ..engine import Driver
+from .messages import SOP_COMPLETION, SOP_READ, SOP_WRITE, StorageMessage
+
+__all__ = ["StorageFrontend", "VirtualBlockDevice"]
+
+
+class VirtualBlockDevice:
+    """Instance-facing block device backed by a pooled SSD."""
+
+    def __init__(self, frontend: "StorageFrontend", instance, backend_name: str,
+                 block_size: int):
+        self.frontend = frontend
+        self.instance = instance
+        self.backend_name = backend_name
+        self.block_size = block_size
+
+    def read(self, lba: int, nblocks: int,
+             callback: Callable[[int, bytes], None]) -> int:
+        """Async read; ``callback(status, data)`` fires on completion."""
+        return self.frontend.submit_read(self, lba, nblocks, callback)
+
+    def write(self, lba: int, data: bytes,
+              callback: Callable[[int], None]) -> int:
+        """Async write; ``callback(status)`` fires on completion."""
+        return self.frontend.submit_write(self, lba, data, callback)
+
+
+class StorageFrontend(Driver):
+    """One storage frontend per host, on its own busy-polling core."""
+
+    ITEM_NS = 180.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        buffer_domain: MemDomain,
+        buffer_region: Region,
+        config: Optional[OasisConfig] = None,
+    ):
+        super().__init__(sim, f"sfe-{host.name}", config)
+        self.host = host
+        self.domain = buffer_domain
+        self._space = RegionAllocator(buffer_region)
+        self._links: Dict[str, object] = {}        # backend name -> ChannelPair endpoints
+        self._pending: Dict[int, dict] = {}        # cid -> request state
+        self._next_cid = 1
+        self.completed_ok = 0
+        self.completed_error = 0
+
+    def connect_backend(self, name: str, tx, rx) -> None:
+        self._links[name] = (tx, rx)
+        rx.bind(self.work)
+
+    def make_device(self, instance, backend_name: str, block_size: int
+                    ) -> VirtualBlockDevice:
+        if backend_name not in self._links:
+            raise AllocationError(f"no storage backend link {backend_name}")
+        return VirtualBlockDevice(self, instance, backend_name, block_size)
+
+    # -- submission (instance context) ------------------------------------------
+
+    def _alloc_cid(self) -> int:
+        cid = self._next_cid
+        self._next_cid = (self._next_cid % 0xFFFF) + 1
+        while self._next_cid in self._pending:
+            self._next_cid = (self._next_cid % 0xFFFF) + 1
+        return cid
+
+    def submit_write(self, device: VirtualBlockDevice, lba: int, data: bytes,
+                     callback: Callable[[int], None]) -> int:
+        if len(data) % device.block_size:
+            raise AllocationError("write size must be a multiple of block size")
+        nlb = len(data) // device.block_size
+        region = self._space.alloc(len(data), "wbuf")
+        store_ns = self.domain.cache.store(region.base, data, category="payload")
+        store_ns += self.domain.cache.clwb_range(region.base, len(data),
+                                                 category="payload")
+        cid = self._alloc_cid()
+        self._pending[cid] = {
+            "op": SOP_WRITE, "region": region, "callback": callback,
+            "nbytes": len(data), "backend": device.backend_name,
+        }
+        message = StorageMessage(SOP_WRITE, cid, lba, nlb, region.base,
+                                 device.instance.ip if device.instance else 0)
+        self.sim.schedule(
+            self.config.datapath.ipc_hop_us * USEC + store_ns * NSEC,
+            self._enqueue, device.backend_name, message,
+        )
+        return cid
+
+    def submit_read(self, device: VirtualBlockDevice, lba: int, nblocks: int,
+                    callback: Callable[[int, bytes], None]) -> int:
+        region = self._space.alloc(nblocks * device.block_size, "rbuf")
+        # The region may have been a recycled write buffer whose (clean)
+        # lines are still in our cache; the SSD's DMA write on the remote
+        # host will not snoop them (§3.2.1).  Invalidate before posting so
+        # the completion copy reads the device's bytes, not stale ones.
+        self.domain.cache.clflush_range(region.base,
+                                        nblocks * device.block_size,
+                                        category="payload")
+        cid = self._alloc_cid()
+        self._pending[cid] = {
+            "op": SOP_READ, "region": region, "callback": callback,
+            "nbytes": nblocks * device.block_size, "backend": device.backend_name,
+        }
+        message = StorageMessage(SOP_READ, cid, lba, nblocks, region.base,
+                                 device.instance.ip if device.instance else 0)
+        self.sim.schedule(self.config.datapath.ipc_hop_us * USEC,
+                          self._enqueue, device.backend_name, message)
+        return cid
+
+    def _enqueue(self, backend_name: str, message: StorageMessage) -> None:
+        tx, _ = self._links[backend_name]
+        try:
+            tx.send(message.pack())
+        except ChannelFullError:
+            self.sim.schedule(10e-6, self._enqueue, backend_name, message)
+
+    # -- driver loop: completions -------------------------------------------------
+
+    def _process(self) -> tuple:
+        items = 0
+        cost = 0.0
+        for name, (tx, rx) in self._links.items():
+            payloads, drain_cost = rx.drain()
+            cost += drain_cost
+            items += len(payloads)
+            for raw in payloads:
+                message = StorageMessage.unpack(raw)
+                if message.opcode == SOP_COMPLETION:
+                    cost += self._handle_completion(message)
+        return items, cost
+
+    def _handle_completion(self, message: StorageMessage) -> float:
+        state = self._pending.pop(message.cid, None)
+        if state is None:
+            return 20.0
+        cost = self.ITEM_NS
+        region: Region = state["region"]
+        if state["op"] == SOP_READ and message.status == 0:
+            # Copy the data out of shared memory, then invalidate the lines.
+            data, load_ns = self.domain.cache.load(region.base, state["nbytes"],
+                                                   category="payload")
+            cost += load_ns
+            cost += self.domain.cache.clflush_range(region.base, state["nbytes"],
+                                                    category="payload")
+        else:
+            data = b""
+        self._space.free(region)
+        if message.status == 0:
+            self.completed_ok += 1
+        else:
+            self.completed_error += 1
+        callback = state["callback"]
+        ipc = self.config.datapath.ipc_hop_us * USEC
+        if state["op"] == SOP_READ:
+            self.sim.schedule(ipc, callback, message.status, data)
+        else:
+            self.sim.schedule(ipc, callback, message.status)
+        return cost
+
+    @property
+    def inflight(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,65 @@
+"""The storage engine's 64 B message format (§3.4).
+
+Each frontend<->backend storage message mirrors the fields of a 64 B NVMe
+command: opcode, command id, namespace, starting LBA, block count and the
+data buffer pointer in shared CXL memory, plus a status field for
+completions.  The epoch bit lives in the opcode MSB, so opcodes stay < 0x80.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ...errors import ChannelError
+
+__all__ = [
+    "StorageMessage",
+    "SOP_READ",
+    "SOP_WRITE",
+    "SOP_COMPLETION",
+    "SOP_FLUSH",
+    "STORAGE_MESSAGE_SIZE",
+]
+
+SOP_WRITE = 0x01       # mirrors NVMe NVM write
+SOP_READ = 0x02        # mirrors NVMe NVM read
+SOP_FLUSH = 0x03
+SOP_COMPLETION = 0x10  # backend -> frontend CQE
+
+# opcode, flags, cid, nsid, slba, nlb, buffer addr, instance ip, status + pad
+_FMT = struct.Struct("<BBHIQIQIH")
+_PAD = 64 - _FMT.size
+STORAGE_MESSAGE_SIZE = 64
+
+_VALID_OPS = {SOP_READ, SOP_WRITE, SOP_FLUSH, SOP_COMPLETION}
+
+
+@dataclass(frozen=True)
+class StorageMessage:
+    """One decoded 64 B storage-engine message."""
+
+    opcode: int
+    cid: int
+    slba: int
+    nlb: int
+    buffer_addr: int
+    instance_ip: int
+    status: int = 0
+    nsid: int = 1
+    flags: int = 0
+
+    def pack(self) -> bytes:
+        if self.opcode not in _VALID_OPS:
+            raise ChannelError(f"invalid storage opcode {self.opcode:#x}")
+        raw = _FMT.pack(self.opcode, self.flags, self.cid, self.nsid, self.slba,
+                        self.nlb, self.buffer_addr, self.instance_ip, self.status)
+        return raw + b"\x00" * _PAD
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "StorageMessage":
+        (opcode, flags, cid, nsid, slba, nlb, addr, ip, status) = _FMT.unpack_from(data)
+        if opcode not in _VALID_OPS:
+            raise ChannelError(f"invalid storage opcode {opcode:#x}")
+        return cls(opcode=opcode, cid=cid, slba=slba, nlb=nlb, buffer_addr=addr,
+                   instance_ip=ip, status=status, nsid=nsid, flags=flags)

@@ -1,0 +1,27 @@
+"""One module per paper table/figure; each has ``run()`` and ``main()``.
+
+See DESIGN.md's per-experiment index for the mapping to paper results, and
+``runner.main()`` to regenerate everything.
+"""
+
+from . import (  # noqa: F401
+    fig2,
+    fig3,
+    fig6,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    table1,
+    table2,
+    table3,
+)
+from .runner import ALL_EXPERIMENTS
+
+__all__ = [
+    "fig2", "fig3", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "table1", "table2", "table3", "ALL_EXPERIMENTS",
+]

@@ -1,0 +1,63 @@
+"""Figure 11: latency-overhead breakdown.
+
+Three configurations: baseline (local NIC, local buffers), baseline with I/O
+buffers moved into CXL memory, and full Oasis.  Paper result: buffers-in-CXL
+costs almost nothing; nearly all of Oasis's overhead is cross-host message
+passing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..analysis.report import render_table
+from .common import scale
+from .fig10 import ECHO_LOADS_PPS, PACKET_SIZES, run_echo
+
+__all__ = ["run", "main", "MODES"]
+
+MODES = ("local", "local-cxl-buffers", "oasis")
+
+
+def run(
+    sizes: Sequence[int] = PACKET_SIZES,
+    loads: Optional[Dict[str, float]] = None,
+    duration_s: Optional[float] = None,
+) -> dict:
+    loads = loads or ECHO_LOADS_PPS
+    duration = duration_s if duration_s is not None else 0.2 * scale()
+    results: Dict = {}
+    for size in sizes:
+        results[size] = {}
+        for load_name, pps in loads.items():
+            results[size][load_name] = {
+                mode: run_echo(mode, size, pps, duration) for mode in MODES
+            }
+    return results
+
+
+def main() -> dict:
+    results = run()
+    rows = []
+    for size, loads in results.items():
+        for load_name, cell in loads.items():
+            base = cell["local"]
+            cxl = cell["local-cxl-buffers"]
+            oasis = cell["oasis"]
+            rows.append((
+                size, load_name, base["p50"], cxl["p50"], oasis["p50"],
+                cxl["p50"] - base["p50"], oasis["p50"] - cxl["p50"],
+            ))
+    print(render_table(
+        ["size B", "load", "baseline p50", "+CXL buffers p50", "Oasis p50",
+         "buffer cost", "messaging cost"],
+        rows,
+        title="Figure 11: overhead breakdown, us (paper: buffers ~free, "
+              "messaging dominates)",
+        digits=2,
+    ))
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Figure 9: Oasis overhead on memcached.
+
+Paper result: latency overhead is consistently about 4-7 us at all
+percentiles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.report import render_table
+from ..workloads.apps import APP_PROFILES
+from .common import scale
+from .fig8 import LOAD_LEVELS, run_app
+
+__all__ = ["run", "main"]
+
+
+def run(duration_s: Optional[float] = None) -> dict:
+    duration = duration_s if duration_s is not None else 0.25 * scale()
+    profile = APP_PROFILES["memcached"]
+    results = {}
+    for load_name, fraction in LOAD_LEVELS.items():
+        results[load_name] = {
+            "baseline": run_app(profile, "local", fraction, duration),
+            "oasis": run_app(profile, "oasis", fraction, duration),
+        }
+    return results
+
+
+def main() -> dict:
+    results = run()
+    rows = []
+    for load_name, cell in results.items():
+        b, o = cell["baseline"], cell["oasis"]
+        rows.append((
+            load_name,
+            b["p50"], o["p50"], o["p50"] - b["p50"],
+            b["p90"], o["p90"], o["p90"] - b["p90"],
+            b["p99"], o["p99"], o["p99"] - b["p99"],
+        ))
+    print(render_table(
+        ["load", "base p50", "oasis p50", "d(p50)", "base p90", "oasis p90",
+         "d(p90)", "base p99", "oasis p99", "d(p99)"],
+        rows,
+        title="Figure 9: memcached latency, us (paper: +4-7 us everywhere)",
+        digits=1,
+    ))
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Table 1: NIC/SSD performance requirements (configuration constants).
+
+Not an experiment -- this renders the model's device parameters against the
+paper's Table 1 so drift is visible.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import render_table
+from ..config import OasisConfig
+
+__all__ = ["run", "main"]
+
+
+def run() -> dict:
+    config = OasisConfig()
+    return {
+        "nic": {
+            "bandwidth_gbs": config.nic.bytes_per_sec / 1e9,
+            "paper_bandwidth_gbs": 26.0,   # 200 Gbit with line coding (§2.1)
+            "latency_us": "50-110 (cloud), ~4-10 (our small testbed)",
+            "count": "1-2",
+        },
+        "ssd": {
+            "bandwidth_gbs": config.ssd.bytes_per_sec / 1e9,
+            "paper_bandwidth_gbs": 5.0,
+            "read_latency_us": config.ssd.read_latency_us,
+            "paper_latency_us": 100.0,
+            "count": 6,
+        },
+    }
+
+
+def main() -> dict:
+    results = run()
+    rows = [
+        ("NIC GB/s", results["nic"]["bandwidth_gbs"],
+         results["nic"]["paper_bandwidth_gbs"]),
+        ("SSD GB/s", results["ssd"]["bandwidth_gbs"],
+         results["ssd"]["paper_bandwidth_gbs"]),
+        ("SSD read latency us", results["ssd"]["read_latency_us"],
+         results["ssd"]["paper_latency_us"]),
+    ]
+    print(render_table(["parameter", "model", "paper"], rows,
+                       title="Table 1: device performance parameters",
+                       digits=1))
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Hosts, memory domains, and instances."""
+
+from .host import Host, MemDomain
+from .instance import Instance, ResourceSpec
+
+__all__ = ["Host", "MemDomain", "Instance", "ResourceSpec"]

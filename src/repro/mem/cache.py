@@ -1,0 +1,278 @@
+"""Per-host CPU cache over non-coherent shared CXL memory.
+
+This is the model that makes the paper's §3.2 problems *real* rather than
+narrated:
+
+* a host's load hits its own cached copy of a line even after another host
+  (or a device) has overwritten the line in the pool -- i.e. **stale reads**;
+* a host's store stays in its cache (dirty) and is invisible to everyone else
+  until an explicit CLWB / CLFLUSHOPT;
+* PREFETCHT0 on a line that is *already cached* is a no-op, which is exactly
+  why naive prefetching stalls in Figure 6 (design ②) and why the Oasis
+  channel must invalidate consumed and prefetched-but-stale lines (③/④).
+
+Within one host, DMA is kept coherent the way real hardware does it: a device
+write snoops and invalidates the local cache line, a device read snoops out
+dirty data.  Across hosts there is no snooping at all -- that is the CXL 2.0
+reality Oasis is built for.
+
+Every operation returns its CPU cost in nanoseconds; callers (driver loops,
+the Figure 6 microbench) accumulate those costs into virtual time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..config import CACHE_LINE, CacheTimings
+from .cxl import CXLMemoryPool, lines_spanned
+
+__all__ = ["HostCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Operation counters, used by tests and the Table 3 experiment."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    writebacks: int = 0
+    invalidations: int = 0
+    fences: int = 0
+    prefetches_issued: int = 0
+    prefetches_ignored: int = 0     # line already cached: the Fig 6 pathology
+    evictions: int = 0
+    dma_read_snoop_hits: int = 0
+    dma_write_snoop_hits: int = 0
+
+    def reset(self) -> None:
+        for name in self.__dict__:
+            setattr(self, name, 0)
+
+
+class _Line:
+    __slots__ = ("data", "dirty")
+
+    def __init__(self, data: bytearray, dirty: bool = False):
+        self.data = data
+        self.dirty = dirty
+
+
+class HostCache:
+    """One host's view of the shared pool through its (non-coherent) caches."""
+
+    def __init__(
+        self,
+        pool: CXLMemoryPool,
+        host: str,
+        capacity_lines: Optional[int] = None,
+        timings: Optional[CacheTimings] = None,
+    ):
+        self.pool = pool
+        self.host = host
+        self.capacity_lines = capacity_lines
+        self.timings = timings or pool.timings
+        self._lines: "OrderedDict[int, _Line]" = OrderedDict()
+        self.stats = CacheStats()
+        # Optional interception of explicit writebacks (CLWB/CLFLUSHOPT of a
+        # dirty line).  The Figure 6 microbench uses this to model the posted
+        # write's flight time: the hook receives (line_index, data, category)
+        # and applies the bytes to the pool once the write lands.  When unset,
+        # writebacks reach the pool immediately.
+        self.writeback_hook = None
+
+    # -- internals ----------------------------------------------------------
+
+    def _evict_if_needed(self) -> None:
+        while self.capacity_lines is not None and len(self._lines) > self.capacity_lines:
+            index, line = self._lines.popitem(last=False)
+            if line.dirty:
+                self.pool.write_line(index, bytes(line.data))
+                self.pool._account(self.host, "write", "eviction", CACHE_LINE)
+            self.stats.evictions += 1
+
+    def _fill(self, index: int, category: str) -> _Line:
+        data = bytearray(self.pool.read_line(index))
+        self.pool._account(self.host, "read", category, CACHE_LINE)
+        line = _Line(data)
+        self._lines[index] = line
+        self._evict_if_needed()
+        return line
+
+    def _touch(self, index: int) -> None:
+        self._lines.move_to_end(index)
+
+    # -- inspection (free: used by assertions, not the datapath) -------------
+
+    def contains(self, addr: int) -> bool:
+        return addr // CACHE_LINE in self._lines
+
+    def is_dirty(self, addr: int) -> bool:
+        line = self._lines.get(addr // CACHE_LINE)
+        return bool(line and line.dirty)
+
+    @property
+    def cached_line_count(self) -> int:
+        return len(self._lines)
+
+    # -- CPU loads and stores -------------------------------------------------
+
+    def load(self, addr: int, size: int, category: str = "payload") -> Tuple[bytes, float]:
+        """CPU load of ``size`` bytes.  Returns ``(data, cost_ns)``.
+
+        Cached lines are served from the cache *even if stale* -- staleness is
+        the caller's problem, exactly as on real non-coherent CXL 2.0.
+        """
+        t = self.timings
+        out = bytearray(size)
+        cost = 0.0
+        pos = 0
+        first_miss = True
+        while pos < size:
+            index = (addr + pos) // CACHE_LINE
+            offset = (addr + pos) % CACHE_LINE
+            take = min(CACHE_LINE - offset, size - pos)
+            line = self._lines.get(index)
+            if line is None:
+                line = self._fill(index, category)
+                self.stats.misses += 1
+                # A sequential multi-line load overlaps misses after the
+                # first (hardware prefetch + MLP): only the first pays the
+                # full load-to-use latency.
+                cost += t.cxl_load_ns if first_miss else t.cxl_stream_ns
+                first_miss = False
+            else:
+                self._touch(index)
+                self.stats.hits += 1
+                cost += t.cache_hit_ns
+            out[pos:pos + take] = line.data[offset:offset + take]
+            pos += take
+        return bytes(out), cost
+
+    def store(self, addr: int, data: bytes, category: str = "payload") -> float:
+        """CPU store (write-allocate).  Dirty data stays local until CLWB."""
+        t = self.timings
+        size = len(data)
+        cost = 0.0
+        pos = 0
+        first_miss = True
+        while pos < size:
+            index = (addr + pos) // CACHE_LINE
+            offset = (addr + pos) % CACHE_LINE
+            take = min(CACHE_LINE - offset, size - pos)
+            line = self._lines.get(index)
+            if line is None:
+                if offset == 0 and take == CACHE_LINE:
+                    # Full-line store: no read-for-ownership needed.
+                    line = _Line(bytearray(CACHE_LINE))
+                    self._lines[index] = line
+                    self._evict_if_needed()
+                else:
+                    line = self._fill(index, category)
+                    # RFO fetch; overlapped after the first miss (MLP).
+                    cost += t.cxl_load_ns if first_miss else t.cxl_stream_ns
+                    first_miss = False
+            else:
+                self._touch(index)
+            line.data[offset:offset + take] = data[pos:pos + take]
+            line.dirty = True
+            cost += t.store_ns
+            self.stats.stores += 1
+            pos += take
+        return cost
+
+    # -- explicit coherence operations ----------------------------------------
+
+    def clwb(self, addr: int, category: str = "payload") -> float:
+        """Write back the line containing ``addr`` (kept cached, clean)."""
+        index = addr // CACHE_LINE
+        line = self._lines.get(index)
+        if line is None or not line.dirty:
+            return self.timings.clflush_issue_ns
+        self._write_back(index, line, category)
+        line.dirty = False
+        self.stats.writebacks += 1
+        return self.timings.clwb_ns
+
+    def clwb_range(self, addr: int, size: int, category: str = "payload") -> float:
+        return sum(self.clwb(i * CACHE_LINE, category) for i in lines_spanned(addr, size))
+
+    def clflush(self, addr: int, fenced: bool = False, category: str = "payload") -> float:
+        """CLFLUSHOPT: write back if dirty, then drop the line.
+
+        ``fenced=True`` models a CLFLUSHOPT immediately ordered by MFENCE
+        (serialising, ~5x the cost of a background flush) -- the difference
+        that separates the Figure 6 baseline from the Oasis design.
+        """
+        t = self.timings
+        index = addr // CACHE_LINE
+        line = self._lines.pop(index, None)
+        if line is not None:
+            if line.dirty:
+                self._write_back(index, line, category)
+                self.stats.writebacks += 1
+            self.stats.invalidations += 1
+        return t.clflush_ns if fenced else t.clflush_issue_ns
+
+    def _write_back(self, index: int, line: "_Line", category: str) -> None:
+        if self.writeback_hook is not None:
+            self.writeback_hook(index, bytes(line.data), category)
+        else:
+            self.pool.write_line(index, bytes(line.data))
+        self.pool._account(self.host, "write", category, CACHE_LINE)
+
+    def clflush_range(self, addr: int, size: int, fenced: bool = False,
+                      category: str = "payload") -> float:
+        return sum(
+            self.clflush(i * CACHE_LINE, fenced, category) for i in lines_spanned(addr, size)
+        )
+
+    def mfence(self) -> float:
+        self.stats.fences += 1
+        return self.timings.mfence_ns
+
+    def prefetch(self, addr: int, category: str = "message") -> Tuple[bool, float]:
+        """PREFETCHT0.  Returns ``(issued, cost_ns)``.
+
+        A prefetch of a line already present in the cache is ignored by the
+        hardware -- including when the cached copy is stale.  This no-op is
+        the root cause dissected in §3.2.2.
+        """
+        index = addr // CACHE_LINE
+        if index in self._lines:
+            self.stats.prefetches_ignored += 1
+            return False, self.timings.prefetch_issue_ns
+        self._fill(index, category)
+        self.stats.prefetches_issued += 1
+        return True, self.timings.prefetch_issue_ns
+
+    def drop_all(self) -> None:
+        """Invalidate the entire cache without writing anything back."""
+        self._lines.clear()
+
+    # -- intra-host DMA snooping ------------------------------------------------
+
+    def snoop_dma_write(self, addr: int, size: int) -> float:
+        """Called when a *local* device DMA-writes: invalidate our copies."""
+        cost = 0.0
+        for index in lines_spanned(addr, size):
+            if self._lines.pop(index, None) is not None:
+                self.stats.dma_write_snoop_hits += 1
+                cost += self.timings.clflush_issue_ns
+        return cost
+
+    def snoop_dma_read(self, addr: int, size: int) -> float:
+        """Called when a *local* device DMA-reads: flush our dirty data."""
+        cost = 0.0
+        for index in lines_spanned(addr, size):
+            line = self._lines.get(index)
+            if line is not None and line.dirty:
+                self.pool.write_line(index, bytes(line.data))
+                self.pool._account(self.host, "write", "snoop", CACHE_LINE)
+                line.dirty = False
+                self.stats.dma_read_snoop_hits += 1
+                cost += self.timings.clwb_ns
+        return cost

@@ -1,0 +1,38 @@
+"""Network substrate: frames, learning switch, endpoints, transports."""
+
+from .endpoint import ExternalEndpoint
+from .packet import (
+    BROADCAST_MAC,
+    ETH_MIN_FRAME,
+    ETH_MTU_FRAME,
+    HEADER_SIZE,
+    PROTO_TCP,
+    PROTO_UDP,
+    Frame,
+    ip_str,
+    mac_str,
+    make_ip,
+    make_mac,
+)
+from .switch import LearningSwitch, SwitchPort
+from .transport import FLAG_ACK, ReliableSocket, UdpSocket
+
+__all__ = [
+    "Frame",
+    "HEADER_SIZE",
+    "PROTO_UDP",
+    "PROTO_TCP",
+    "ETH_MIN_FRAME",
+    "ETH_MTU_FRAME",
+    "BROADCAST_MAC",
+    "mac_str",
+    "ip_str",
+    "make_ip",
+    "make_mac",
+    "LearningSwitch",
+    "SwitchPort",
+    "ExternalEndpoint",
+    "UdpSocket",
+    "ReliableSocket",
+    "FLAG_ACK",
+]

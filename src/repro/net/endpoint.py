@@ -1,0 +1,66 @@
+"""External load-driver endpoints.
+
+The paper drives all experiments from a separate Xeon host with its own NIC
+(§5).  :class:`ExternalEndpoint` models that client: it attaches straight to
+a switch port (no Oasis involved) with a small fixed host-stack latency, and
+exposes the same frame interface as :class:`~repro.host.instance.Instance`,
+so the transports in :mod:`repro.net.transport` work over either.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..sim.core import Simulator, USEC
+from .packet import Frame
+from .switch import SwitchPort
+
+__all__ = ["ExternalEndpoint"]
+
+
+class ExternalEndpoint:
+    """A bare-metal client with a kernel-bypass stack on its own NIC."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        mac: int,
+        ip: int,
+        port: SwitchPort,
+        stack_latency_us: float = 0.7,
+    ):
+        self.sim = sim
+        self.name = name
+        self.mac = mac
+        self.ip = ip
+        self.port = port
+        self.stack_latency = stack_latency_us * USEC
+        self._handlers: List[Callable[[Frame], None]] = []
+        self.tx_frames = 0
+        self.rx_frames = 0
+        port.attach(self._on_wire_rx)
+        self._arp = None  # set by the pod: dst_ip -> mac resolution
+
+    def set_arp(self, arp) -> None:
+        self._arp = arp
+
+    def send_frame(self, frame: Frame) -> None:
+        frame.src_mac = self.mac
+        if frame.src_ip == 0:
+            frame.src_ip = self.ip
+        if frame.dst_mac == 0 and self._arp is not None:
+            frame.dst_mac = self._arp.lookup(frame.dst_ip)
+        self.tx_frames += 1
+        self.sim.schedule(self.stack_latency, self.port.receive, frame)
+
+    def add_handler(self, handler: Callable[[Frame], None]) -> None:
+        self._handlers.append(handler)
+
+    def _on_wire_rx(self, frame: Frame) -> None:
+        self.rx_frames += 1
+        self.sim.schedule(self.stack_latency, self._dispatch, frame)
+
+    def _dispatch(self, frame: Frame) -> None:
+        for handler in self._handlers:
+            handler(frame)

@@ -1,0 +1,146 @@
+"""Wire format for the simulated Ethernet fabric.
+
+Frames carry real bytes end-to-end (instance -> CXL TX buffer -> NIC DMA ->
+switch -> NIC -> CXL RX buffer -> instance), so tests can verify that payloads
+survive the non-coherent datapath bit-exactly.  The header is a compact
+fixed layout (not RFC-conformant, but field-for-field equivalent to
+Ethernet/IPv4/UDP for everything Oasis needs: MACs for switching, the
+destination IP for flow tagging, ports+seq for transports).
+
+``wire_size`` is the *declared* on-wire size used for all timing and
+bandwidth accounting; the serialized representation stores only
+header + payload so that replaying hundreds of thousands of 1500 B packets
+does not burn time writing padding bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Frame",
+    "HEADER_SIZE",
+    "PROTO_UDP",
+    "PROTO_TCP",
+    "ETH_MIN_FRAME",
+    "ETH_MTU_FRAME",
+    "BROADCAST_MAC",
+    "mac_str",
+    "ip_str",
+    "make_ip",
+    "make_mac",
+]
+
+# dst_mac, src_mac (6 B each, packed as u64 pairs), ips, proto, ports, seq,
+# ack, flags, wire_size, payload_len
+_HEADER = struct.Struct("<QQIIBHHIIBHH")
+HEADER_SIZE = _HEADER.size  # 40 bytes
+
+PROTO_UDP = 17
+PROTO_TCP = 6
+ETH_MIN_FRAME = 64
+ETH_MTU_FRAME = 1514
+BROADCAST_MAC = (1 << 48) - 1
+
+
+def make_mac(host_index: int, device_index: int = 0) -> int:
+    """Deterministic locally administered MAC for simulated NICs."""
+    return (0x02 << 40) | (host_index << 8) | device_index
+
+
+def make_ip(a: int, b: int, c: int, d: int) -> int:
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def mac_str(mac: int) -> str:
+    return ":".join(f"{(mac >> (8 * i)) & 0xFF:02x}" for i in reversed(range(6)))
+
+
+def ip_str(ip: int) -> str:
+    return ".".join(str((ip >> (8 * i)) & 0xFF) for i in reversed(range(4)))
+
+
+@dataclass
+class Frame:
+    """One Ethernet frame with IPv4/transport fields flattened in."""
+
+    dst_mac: int
+    src_mac: int
+    src_ip: int = 0
+    dst_ip: int = 0
+    proto: int = PROTO_UDP
+    src_port: int = 0
+    dst_port: int = 0
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    payload: bytes = b""
+    wire_size: int = 0
+    # Not serialized: simulation metadata (e.g. client-side send timestamp).
+    meta: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self):
+        if self.wire_size <= 0:
+            self.wire_size = max(ETH_MIN_FRAME, HEADER_SIZE + len(self.payload))
+        if self.wire_size < HEADER_SIZE + len(self.payload):
+            self.wire_size = HEADER_SIZE + len(self.payload)
+
+    def pack(self) -> bytes:
+        """Serialize to the byte image written into I/O buffers."""
+        header = _HEADER.pack(
+            self.dst_mac,
+            self.src_mac,
+            self.src_ip,
+            self.dst_ip,
+            self.proto,
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            self.flags,
+            self.wire_size & 0xFFFF,
+            len(self.payload),
+        )
+        return header + self.payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Frame":
+        (dst_mac, src_mac, src_ip, dst_ip, proto, src_port, dst_port,
+         seq, ack, flags, wire_size, payload_len) = _HEADER.unpack_from(data)
+        payload = bytes(data[HEADER_SIZE:HEADER_SIZE + payload_len])
+        return cls(
+            dst_mac=dst_mac,
+            src_mac=src_mac,
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            proto=proto,
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            payload=payload,
+            wire_size=wire_size if wire_size else max(ETH_MIN_FRAME, HEADER_SIZE + payload_len),
+        )
+
+    @property
+    def packed_size(self) -> int:
+        """Bytes actually stored in buffers (header + payload, no padding)."""
+        return HEADER_SIZE + len(self.payload)
+
+    def reply_template(self, **overrides) -> "Frame":
+        """A frame going back to this frame's sender (addresses swapped)."""
+        fields = dict(
+            dst_mac=self.src_mac,
+            src_mac=self.dst_mac,
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            proto=self.proto,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            payload=self.payload,
+            wire_size=self.wire_size,
+        )
+        fields.update(overrides)
+        return Frame(**fields)

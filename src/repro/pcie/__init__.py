@@ -1,0 +1,28 @@
+"""Simulated PCIe devices: NICs and NVMe SSDs."""
+
+from .device import AERCounters, PCIeDevice
+from .nic import SimNIC
+from .queues import Completion, DescriptorRing, NVMeCommand, RxDescriptor, TxDescriptor
+from .ssd import (
+    NVME_OP_READ,
+    NVME_OP_WRITE,
+    NVME_STATUS_FAILED,
+    NVME_STATUS_OK,
+    SimSSD,
+)
+
+__all__ = [
+    "PCIeDevice",
+    "AERCounters",
+    "SimNIC",
+    "SimSSD",
+    "TxDescriptor",
+    "RxDescriptor",
+    "NVMeCommand",
+    "Completion",
+    "DescriptorRing",
+    "NVME_OP_READ",
+    "NVME_OP_WRITE",
+    "NVME_STATUS_OK",
+    "NVME_STATUS_FAILED",
+]

@@ -1,0 +1,72 @@
+"""Base machinery shared by simulated PCIe devices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+from ..errors import DeviceFailedError
+from ..sim.core import Simulator
+
+__all__ = ["PCIeDevice", "AERCounters"]
+
+
+@dataclass
+class AERCounters:
+    """PCIe Advanced Error Reporting counters (reported in telemetry, §3.5)."""
+
+    correctable: int = 0
+    non_fatal: int = 0
+    fatal: int = 0
+
+    def total(self) -> int:
+        return self.correctable + self.non_fatal + self.fatal
+
+
+class PCIeDevice:
+    """A host-attached PCIe device with link state and failure injection."""
+
+    def __init__(self, sim: Simulator, host, name: str):
+        self.sim = sim
+        self.host = host
+        self.name = name
+        self.failed = False
+        self.aer = AERCounters()
+        self._link_listeners: List[Callable[[bool], None]] = []
+        if host is not None:
+            host.attach_device(self)
+
+    # -- link state -----------------------------------------------------------
+
+    @property
+    def link_up(self) -> bool:
+        """Override in subclasses that also depend on external link state."""
+        return not self.failed
+
+    def on_link_change(self, listener: Callable[[bool], None]) -> None:
+        self._link_listeners.append(listener)
+
+    def _notify_link(self, up: bool) -> None:
+        for listener in self._link_listeners:
+            listener(up)
+
+    # -- failure injection ---------------------------------------------------------
+
+    def fail(self, reason: str = "injected") -> None:
+        """Hard-fail the device (hardware fault)."""
+        if self.failed:
+            return
+        self.failed = True
+        self.aer.fatal += 1
+        self._notify_link(False)
+
+    def restore(self) -> None:
+        """Bring a failed device back (e.g. after repair/replacement)."""
+        if not self.failed:
+            return
+        self.failed = False
+        self._notify_link(self.link_up)
+
+    def _check_alive(self) -> None:
+        if self.failed:
+            raise DeviceFailedError(f"{self.name} has failed")

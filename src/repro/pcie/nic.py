@@ -1,0 +1,199 @@
+"""Simulated 100 Gbit NIC (the Mellanox CX5 stand-in).
+
+Operating flow mirrors the mlx5/DPDK model the paper builds on (§3.3.1):
+
+* TX: the backend driver posts a WQE pointing at a TX buffer in shared CXL
+  memory; the NIC DMA-reads the buffer (bypassing CPU caches), serialises the
+  frame at line rate and hands it to its switch port, then raises a TX
+  completion carrying the driver's cookie.
+* RX: the driver posts RX descriptors pointing into the per-NIC RX buffer
+  area; on frame arrival the NIC matches the destination IP against its flow
+  table (flow tagging, rte_flow-style), DMA-writes the frame into the next
+  posted buffer and raises an RX completion with the matched tag (or ``None``
+  so the driver falls back to header inspection, footnote 6).
+* MAC borrowing: :meth:`send_raw` transmits a frame with an arbitrary source
+  MAC, which is how the backup NIC takes over a failed NIC's address
+  (§3.3.3) -- the switch relearns the mapping from the frame.
+
+The NIC's link state is the AND of its own health and the switch port state,
+so disabling the switch port (the paper's failure injection) is observed by
+the backend driver's link monitor.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..config import NICConfig
+from ..errors import DeviceError
+from ..net.packet import Frame
+from ..net.switch import SwitchPort
+from ..sim.core import Simulator
+from .device import PCIeDevice
+from .queues import Completion, DescriptorRing, RxDescriptor, TxDescriptor
+
+__all__ = ["SimNIC"]
+
+
+class SimNIC(PCIeDevice):
+    """A host-attached NIC pooled by the Oasis network engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host,
+        mac: int,
+        config: Optional[NICConfig] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(sim, host, name or f"nic-{mac:x}")
+        self.mac = mac
+        self.config = config or NICConfig()
+        self.tx_ring = DescriptorRing(self.config.tx_queue_depth, f"{self.name}-txq")
+        self.rx_ring = DescriptorRing(self.config.rx_queue_depth, f"{self.name}-rxq")
+        self.flow_table: Dict[int, int] = {}
+        self._next_tag = 1
+        self.port: Optional[SwitchPort] = None
+        self._tx_busy_until = 0.0
+        self._tx_scheduled = False
+        # Driver callbacks (set by the backend driver).
+        self.on_tx_complete: Optional[Callable[[Completion], None]] = None
+        self.on_rx: Optional[Callable[[Completion], None]] = None
+        # Counters.
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.rx_frames = 0
+        self.rx_bytes = 0
+        self.rx_dropped_no_buffer = 0
+        self.rx_dropped_down = 0
+
+    # -- wiring ------------------------------------------------------------------
+
+    def connect(self, port: SwitchPort) -> None:
+        """Cable the NIC to a switch port."""
+        self.port = port
+        port.attach(self._on_wire_rx)
+        port.on_link_change(lambda up: self._notify_link(self.link_up))
+
+    @property
+    def link_up(self) -> bool:
+        return not self.failed and self.port is not None and self.port.enabled
+
+    # -- flow tagging (rte_flow) ---------------------------------------------------
+
+    def add_flow_tag(self, dst_ip: int) -> int:
+        """Steer frames for ``dst_ip`` to a tag; returns the tag."""
+        if not self.config.supports_flow_tagging:
+            raise DeviceError(f"{self.name} does not support flow tagging")
+        if dst_ip in self.flow_table:
+            return self.flow_table[dst_ip]
+        if len(self.flow_table) >= self.config.max_flow_tags:
+            raise DeviceError(f"{self.name} flow table full")
+        tag = self._next_tag
+        self._next_tag += 1
+        self.flow_table[dst_ip] = tag
+        return tag
+
+    def remove_flow_tag(self, dst_ip: int) -> None:
+        self.flow_table.pop(dst_ip, None)
+
+    # -- TX path ----------------------------------------------------------------------
+
+    def post_tx(self, descriptor: TxDescriptor) -> None:
+        """Post a WQE; the NIC processes the ring in order at line rate."""
+        self._check_alive()
+        self.tx_ring.post(descriptor)
+        self._kick_tx()
+
+    def _kick_tx(self) -> None:
+        if self._tx_scheduled or self.tx_ring.empty:
+            return
+        self._tx_scheduled = True
+        start = max(self.sim.now, self._tx_busy_until)
+        self.sim.at(start, self._tx_process_one)
+
+    def _tx_process_one(self) -> None:
+        self._tx_scheduled = False
+        if self.tx_ring.empty:
+            return
+        desc: TxDescriptor = self.tx_ring.pop()
+        if self.failed:
+            self._complete_tx(desc, status=1)
+            return
+        # WQE fetch + DMA read of the buffer over the host's CXL link.
+        data = self.host.dma_read(desc.addr, desc.length, category="payload",
+                                  local=desc.local)
+        frame = Frame.unpack(data)
+        dma_s = self.config.dma_setup_ns * 1e-9 + self.host.link_transfer_delay(
+            frame.wire_size, direction="read", local=desc.local)
+        serialize_s = frame.wire_size / self.config.bytes_per_sec
+        done = self.sim.now + dma_s + serialize_s
+        self._tx_busy_until = done
+        self.sim.at(done, self._tx_emit, frame, desc)
+        self._kick_tx_at(done)
+
+    def _kick_tx_at(self, when: float) -> None:
+        if not self._tx_scheduled and not self.tx_ring.empty:
+            self._tx_scheduled = True
+            self.sim.at(when, self._tx_process_one)
+
+    def _tx_emit(self, frame: Frame, desc: TxDescriptor) -> None:
+        if self.link_up and self.port is not None:
+            self.tx_frames += 1
+            self.tx_bytes += frame.wire_size
+            self.port.receive(frame)
+            self._complete_tx(desc, status=0)
+        else:
+            self._complete_tx(desc, status=1)
+        self._kick_tx()
+
+    def _complete_tx(self, desc: TxDescriptor, status: int) -> None:
+        if self.on_tx_complete is not None:
+            self.on_tx_complete(
+                Completion(descriptor=desc, status=status, length=desc.length,
+                           timestamp=self.sim.now)
+            )
+
+    def send_raw(self, frame: Frame) -> None:
+        """Transmit a driver-crafted frame immediately (MAC borrowing)."""
+        self._check_alive()
+        if self.link_up and self.port is not None:
+            self.tx_frames += 1
+            self.tx_bytes += frame.wire_size
+            self.port.receive(frame)
+
+    # -- RX path -------------------------------------------------------------------------
+
+    def post_rx(self, descriptor: RxDescriptor) -> None:
+        self.rx_ring.post(descriptor)
+
+    def _on_wire_rx(self, frame: Frame) -> None:
+        if self.failed:
+            self.rx_dropped_down += 1
+            return
+        if self.rx_ring.empty:
+            self.rx_dropped_no_buffer += 1
+            return
+        desc: RxDescriptor = self.rx_ring.pop()
+        data = frame.pack()
+        if len(data) > desc.capacity:
+            raise DeviceError(
+                f"{self.name}: frame of {len(data)} B exceeds RX buffer "
+                f"capacity {desc.capacity} B"
+            )
+        tag = self.flow_table.get(frame.dst_ip)
+        # DMA write into the RX buffer area (bypassing CPU caches), then
+        # complete after the CXL link transfer.
+        self.host.dma_write(desc.addr, data, category="payload", local=desc.local,
+                            account_bytes=frame.wire_size)
+        self.rx_frames += 1
+        self.rx_bytes += frame.wire_size
+        done = self.sim.now + self.host.link_transfer_delay(
+            frame.wire_size, direction="write", local=desc.local)
+        completion = Completion(descriptor=desc, status=0, length=len(data),
+                                tag=tag, timestamp=done)
+        self.sim.at(done, self._deliver_rx, completion)
+
+    def _deliver_rx(self, completion: Completion) -> None:
+        if self.on_rx is not None:
+            self.on_rx(completion)

@@ -1,0 +1,108 @@
+"""Descriptor rings: the WQE/CQE (NIC) and SQ/CQ (NVMe) abstractions.
+
+The backend driver talks to devices exactly the way DPDK/SPDK do: it posts
+descriptors that point at buffers in shared CXL memory and receives
+completions.  The CPU never touches the buffer contents (§3.2.1) -- devices
+DMA them directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Optional
+
+from ..errors import DeviceError
+
+__all__ = ["TxDescriptor", "RxDescriptor", "NVMeCommand", "Completion", "DescriptorRing"]
+
+
+@dataclass
+class TxDescriptor:
+    """A work-queue entry: transmit ``length`` bytes at pool address ``addr``."""
+
+    addr: int
+    length: int
+    cookie: Any = None          # opaque driver context, echoed in the completion
+    local: bool = False         # buffer lives in host-local DDR (baseline mode)
+
+
+@dataclass
+class RxDescriptor:
+    """A posted receive buffer in the per-NIC RX area."""
+
+    addr: int
+    capacity: int
+    local: bool = False         # buffer lives in host-local DDR (baseline mode)
+
+
+@dataclass
+class NVMeCommand:
+    """A 64 B NVMe command as seen by the SSD's submission queue."""
+
+    opcode: int                 # 0x01 write, 0x02 read (NVMe NVM command set)
+    slba: int                   # starting logical block address
+    nlb: int                    # number of logical blocks
+    addr: int                   # data buffer address in shared CXL memory
+    cid: int = 0                # command identifier
+    cookie: Any = None
+
+
+@dataclass
+class Completion:
+    """A completion-queue entry handed back to the backend driver."""
+
+    descriptor: Any
+    status: int = 0             # 0 = success
+    length: int = 0
+    tag: Optional[int] = None   # NIC flow tag (None when unmatched)
+    timestamp: float = 0.0
+
+
+class DescriptorRing:
+    """A bounded FIFO of descriptors, as exposed by the device's doorbell."""
+
+    def __init__(self, depth: int, name: str = "ring"):
+        if depth <= 0:
+            raise DeviceError("ring depth must be positive")
+        self.depth = depth
+        self.name = name
+        self._entries: Deque[Any] = deque()
+        self.posted = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def post(self, entry: Any) -> None:
+        """Post a descriptor; raises :class:`DeviceError` when full."""
+        if self.full:
+            self.rejected += 1
+            raise DeviceError(f"{self.name} full ({self.depth} entries)")
+        self._entries.append(entry)
+        self.posted += 1
+
+    def try_post(self, entry: Any) -> bool:
+        try:
+            self.post(entry)
+        except DeviceError:
+            return False
+        return True
+
+    def pop(self) -> Any:
+        if not self._entries:
+            raise DeviceError(f"{self.name} empty")
+        return self._entries.popleft()
+
+    def drain(self) -> list:
+        entries = list(self._entries)
+        self._entries.clear()
+        return entries

@@ -1,0 +1,125 @@
+"""Simulated datacenter NVMe SSD (§3.4's storage substrate).
+
+The backend driver posts 64 B NVMe commands to the submission queue; the SSD
+DMA-reads (writes) data buffers in shared CXL memory directly -- the backend
+CPU never touches them -- and posts completions.  Blocks are stored sparsely,
+so a 4 TB namespace costs memory only for blocks actually written, while
+reads of unwritten blocks return zeros like a freshly formatted drive.
+
+Timing: fixed media latency per op (read 90 us / write 25 us by default,
+Table 1) plus serialisation of the transfer at the drive's bandwidth, with
+commands overlapping up to the configured queue depth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..config import SSDConfig
+from ..errors import DeviceError
+from ..sim.core import Simulator, USEC
+from .device import PCIeDevice
+from .queues import Completion, DescriptorRing, NVMeCommand
+
+__all__ = ["SimSSD", "NVME_OP_WRITE", "NVME_OP_READ", "NVME_STATUS_OK", "NVME_STATUS_FAILED"]
+
+NVME_OP_WRITE = 0x01
+NVME_OP_READ = 0x02
+NVME_STATUS_OK = 0
+NVME_STATUS_FAILED = 0x06  # internal device error
+NVME_STATUS_LBA_RANGE = 0x80
+
+
+class SimSSD(PCIeDevice):
+    """A host-attached NVMe SSD pooled by the Oasis storage engine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host,
+        config: Optional[SSDConfig] = None,
+        name: str = "ssd",
+    ):
+        super().__init__(sim, host, name)
+        self.config = config or SSDConfig()
+        self.sq = DescriptorRing(self.config.queue_depth, f"{name}-sq")
+        self._blocks: Dict[int, bytes] = {}
+        self._media_busy_until = 0.0
+        self.on_completion: Optional[Callable[[Completion], None]] = None
+        self.reads = 0
+        self.writes = 0
+        self.read_bytes = 0
+        self.write_bytes = 0
+        self._pending = 0
+
+    @property
+    def num_blocks(self) -> int:
+        return self.config.capacity_bytes // self.config.block_size
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, cmd: NVMeCommand) -> None:
+        """Ring the SQ doorbell with one command."""
+        self._check_alive()
+        if cmd.opcode not in (NVME_OP_READ, NVME_OP_WRITE):
+            raise DeviceError(f"unknown NVMe opcode {cmd.opcode:#x}")
+        self.sq.post(cmd)
+        self._pending += 1
+        self.sim.schedule(0.0, self._process_one)
+
+    def _process_one(self) -> None:
+        if self.sq.empty:
+            return
+        cmd: NVMeCommand = self.sq.pop()
+        if self.failed:
+            self._complete(cmd, NVME_STATUS_FAILED, 0.0)
+            return
+        if cmd.nlb <= 0 or cmd.slba < 0 or cmd.slba + cmd.nlb > self.num_blocks:
+            self._complete(cmd, NVME_STATUS_LBA_RANGE, 0.0)
+            return
+        nbytes = cmd.nlb * self.config.block_size
+        if cmd.opcode == NVME_OP_WRITE:
+            media_us = self.config.write_latency_us
+        else:
+            media_us = self.config.read_latency_us
+        transfer_s = nbytes / self.config.bytes_per_sec
+        # Transfers serialise on the drive's internal bandwidth; media latency
+        # overlaps across queued commands.
+        start = max(self.sim.now, self._media_busy_until)
+        self._media_busy_until = start + transfer_s
+        done = start + transfer_s + media_us * USEC
+        self.sim.at(done, self._execute, cmd, nbytes)
+
+    def _execute(self, cmd: NVMeCommand, nbytes: int) -> None:
+        if self.failed:
+            self._complete(cmd, NVME_STATUS_FAILED, 0.0)
+            return
+        bs = self.config.block_size
+        if cmd.opcode == NVME_OP_WRITE:
+            data = self.host.dma_read(cmd.addr, nbytes, category="payload")
+            for i in range(cmd.nlb):
+                self._blocks[cmd.slba + i] = data[i * bs:(i + 1) * bs]
+            self.writes += 1
+            self.write_bytes += nbytes
+        else:
+            chunks = [
+                self._blocks.get(cmd.slba + i, b"\x00" * bs) for i in range(cmd.nlb)
+            ]
+            self.host.dma_write(cmd.addr, b"".join(chunks), category="payload")
+            self.reads += 1
+            self.read_bytes += nbytes
+        self._complete(cmd, NVME_STATUS_OK, nbytes)
+
+    def _complete(self, cmd: NVMeCommand, status: int, nbytes: float) -> None:
+        self._pending -= 1
+        if self.on_completion is not None:
+            self.on_completion(
+                Completion(descriptor=cmd, status=status, length=int(nbytes),
+                           timestamp=self.sim.now)
+            )
+
+    def fail(self, reason: str = "injected") -> None:
+        """Failing the drive errors out everything still queued (§3.4)."""
+        super().fail(reason)
+        for cmd in self.sq.drain():
+            self._complete(cmd, NVME_STATUS_FAILED, 0.0)

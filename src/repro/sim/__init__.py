@@ -1,0 +1,21 @@
+"""Discrete-event simulation substrate."""
+
+from .core import MSEC, NSEC, SEC, USEC, Event, Process, Signal, SimulationError, Simulator
+from .resources import QueueFull, SimQueue
+from .rng import RngFactory, derive_seed
+
+__all__ = [
+    "NSEC",
+    "USEC",
+    "MSEC",
+    "SEC",
+    "Event",
+    "Signal",
+    "Process",
+    "Simulator",
+    "SimulationError",
+    "SimQueue",
+    "QueueFull",
+    "RngFactory",
+    "derive_seed",
+]

@@ -1,0 +1,349 @@
+"""Discrete-event simulation core.
+
+The whole reproduction runs on this simulator: hosts, device drivers, NICs,
+switches and workloads are all simulation processes exchanging events in
+virtual time.  Time is a ``float`` measured in **seconds**; helper constants
+(:data:`NSEC`, :data:`USEC`, :data:`MSEC`) make call sites readable.
+
+Two programming styles are supported:
+
+* callback style -- ``sim.schedule(delay, fn, *args)``;
+* coroutine style -- generator functions spawned with :meth:`Simulator.spawn`
+  that ``yield`` delays, :class:`Signal` objects, or other processes.
+
+Busy-polling device drivers are modelled with O(#messages) events (wake on
+data arrival plus explicit per-operation CPU costs) rather than
+O(time / poll-interval) events, which keeps multi-second experiments tractable
+in Python.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+NSEC = 1e-9
+USEC = 1e-6
+MSEC = 1e-3
+SEC = 1.0
+
+__all__ = [
+    "NSEC",
+    "USEC",
+    "MSEC",
+    "SEC",
+    "Event",
+    "Signal",
+    "Process",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling misuse (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
+
+    Events may be cancelled before they fire; cancellation is O(1) (the heap
+    entry is tombstoned, not removed).
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call multiple times."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.9f} {getattr(self.fn, '__name__', self.fn)} {state}>"
+
+
+class Signal:
+    """A one-shot or auto-reset wakeup primitive for coroutine processes.
+
+    Processes wait on a signal by ``yield``-ing it.  :meth:`set` wakes every
+    waiter with an optional value (delivered as the result of the ``yield``).
+    With ``auto_reset=True`` the signal re-arms after each :meth:`set`, which
+    makes it usable as a doorbell.
+    """
+
+    __slots__ = ("sim", "auto_reset", "_set", "_value", "_waiters")
+
+    def __init__(self, sim: "Simulator", auto_reset: bool = False):
+        self.sim = sim
+        self.auto_reset = auto_reset
+        self._set = False
+        self._value: Any = None
+        self._waiters: list[Process] = []
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+    def set(self, value: Any = None) -> None:
+        """Wake all waiters (immediately, at the current simulation time).
+
+        An auto-reset signal with no waiters latches one wakeup (doorbell
+        semantics): the next waiter proceeds immediately.
+        """
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        if not self.auto_reset:
+            self._set = True
+        elif not waiters:
+            self._set = True
+        for proc in waiters:
+            self.sim.schedule(0.0, proc._resume, value)
+
+    def clear(self) -> None:
+        self._set = False
+        self._value = None
+
+    def _subscribe(self, proc: "Process") -> bool:
+        """Register ``proc``; return True if already set (no wait needed)."""
+        if self._set:
+            if self.auto_reset:
+                self._set = False
+            return True
+        self._waiters.append(proc)
+        return False
+
+    def _unsubscribe(self, proc: "Process") -> None:
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            pass
+
+
+class Process:
+    """A coroutine process driven by the simulator.
+
+    The generator may yield:
+
+    * ``float`` / ``int`` -- sleep for that many seconds;
+    * :class:`Signal` -- block until the signal is set (the signal's value is
+      sent back into the generator);
+    * :class:`Process` -- block until that process terminates;
+    * ``None`` -- yield the floor (resume at the same time, after other
+      pending events).
+    """
+
+    __slots__ = ("sim", "name", "_gen", "_done", "_done_signal", "_waiting_on", "result")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "proc"):
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self._done = False
+        self._done_signal = Signal(sim)
+        self._waiting_on: Optional[Signal] = None
+        self.result: Any = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def interrupt(self) -> None:
+        """Terminate the process at the current time without running it."""
+        if self._done:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on._unsubscribe(self)
+            self._waiting_on = None
+        self._gen.close()
+        self._finish(None)
+
+    def _finish(self, result: Any) -> None:
+        self._done = True
+        self.result = result
+        self._done_signal.set(result)
+
+    def _resume(self, value: Any = None) -> None:
+        if self._done:
+            return
+        self._waiting_on = None
+        try:
+            yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._handle_yield(yielded)
+
+    def _handle_yield(self, yielded: Any) -> None:
+        if yielded is None:
+            self.sim.schedule(0.0, self._resume, None)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(f"process {self.name} yielded negative delay {yielded}")
+            self.sim.schedule(float(yielded), self._resume, None)
+        elif isinstance(yielded, Signal):
+            if yielded._subscribe(self):
+                self.sim.schedule(0.0, self._resume, yielded._value)
+            else:
+                self._waiting_on = yielded
+        elif isinstance(yielded, Process):
+            if yielded._done:
+                self.sim.schedule(0.0, self._resume, yielded.result)
+            else:
+                if yielded._done_signal._subscribe(self):
+                    self.sim.schedule(0.0, self._resume, yielded.result)
+                else:
+                    self._waiting_on = yielded._done_signal
+        else:
+            raise SimulationError(
+                f"process {self.name} yielded unsupported value {yielded!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "running"
+        return f"<Process {self.name} {state}>"
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of :class:`Event` objects."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self.now: float = 0.0
+        self._processed = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        event = Event(self.now + delay, fn, args)
+        heapq.heappush(self._heap, (event.time, next(self._seq), event))
+        return event
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        return self.schedule(time - self.now, fn, *args)
+
+    def spawn(self, gen: Generator, name: str = "proc") -> Process:
+        """Start a coroutine process; it first runs at the current time."""
+        proc = Process(self, gen, name=name)
+        self.schedule(0.0, proc._resume, None)
+        return proc
+
+    def signal(self, auto_reset: bool = False) -> Signal:
+        """Convenience constructor for a :class:`Signal` bound to this sim."""
+        return Signal(self, auto_reset=auto_reset)
+
+    # -- running ----------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap (including tombstones)."""
+        return len(self._heap)
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the heap is empty."""
+        while self._heap:
+            time, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if time < self.now - 1e-15:
+                raise SimulationError("event heap went backwards")
+            self.now = max(self.now, time)
+            self._processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if the heap drains earlier, so back-to-back ``run`` calls behave
+        like wall-clock segments.
+        """
+        fired = 0
+        while self._heap:
+            time, _, event = self._heap[0]
+            if until is not None and time > until:
+                break
+            if max_events is not None and fired >= max_events:
+                return
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = max(self.now, time)
+            self._processed += 1
+            event.fn(*event.args)
+            fired += 1
+        if until is not None and self.now < until:
+            self.now = until
+
+    def run_all(self, limit: int = 50_000_000) -> None:
+        """Run until the heap is empty (with a runaway-loop backstop)."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > limit:
+                raise SimulationError(f"exceeded {limit} events; runaway simulation?")
+
+    # -- periodic helpers --------------------------------------------------
+
+    def every(
+        self,
+        interval: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        start_after: Optional[float] = None,
+        jitter: float = 0.0,
+        rng=None,
+    ) -> "PeriodicTask":
+        """Run ``fn(*args)`` every ``interval`` seconds until cancelled."""
+        return PeriodicTask(self, interval, fn, args, start_after, jitter, rng)
+
+
+class PeriodicTask:
+    """A repeating callback; cancel with :meth:`cancel`."""
+
+    __slots__ = ("sim", "interval", "fn", "args", "jitter", "rng", "_event", "_cancelled")
+
+    def __init__(self, sim, interval, fn, args, start_after, jitter, rng):
+        self.sim = sim
+        self.interval = interval
+        self.fn = fn
+        self.args = args
+        self.jitter = jitter
+        self.rng = rng
+        self._cancelled = False
+        delay = interval if start_after is None else start_after
+        self._event = sim.schedule(self._jittered(delay), self._fire)
+
+    def _jittered(self, delay: float) -> float:
+        if self.jitter and self.rng is not None:
+            delay += float(self.rng.uniform(0, self.jitter))
+        return max(delay, 0.0)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fn(*self.args)
+        if not self._cancelled:
+            self._event = self.sim.schedule(self._jittered(self.interval), self._fire)
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._event.cancel()

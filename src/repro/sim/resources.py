@@ -1,0 +1,82 @@
+"""Blocking queues for coroutine processes.
+
+These model the intra-host IPC channels (instance <-> frontend driver) that
+the real Oasis implements over local-DDR shared memory; cross-host channels
+use :mod:`repro.channel` instead, which models the non-coherent CXL path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator, Optional
+
+from .core import Signal, Simulator
+
+__all__ = ["SimQueue", "QueueFull"]
+
+
+class QueueFull(RuntimeError):
+    """Raised by :meth:`SimQueue.put_nowait` on a bounded, full queue."""
+
+
+class SimQueue:
+    """FIFO queue with blocking ``get`` for simulation processes.
+
+    ``put`` is always immediate (the producer side of the Oasis IPC rings is
+    lossy at the instance layer, modelled by ``put_nowait`` raising
+    :class:`QueueFull` when ``capacity`` is set).
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = "queue"):
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._data_ready = Signal(sim, auto_reset=True)
+        self.dropped = 0
+        self.total_put = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put_nowait(self, item: Any) -> None:
+        """Enqueue; raises :class:`QueueFull` when bounded and full."""
+        if self.full:
+            self.dropped += 1
+            raise QueueFull(self.name)
+        self._items.append(item)
+        self.total_put += 1
+        self._data_ready.set()
+
+    def try_put(self, item: Any) -> bool:
+        """Enqueue; returns False (and counts a drop) instead of raising."""
+        try:
+            self.put_nowait(item)
+        except QueueFull:
+            return False
+        return True
+
+    def get_nowait(self) -> Any:
+        if not self._items:
+            raise IndexError(f"queue {self.name} empty")
+        return self._items.popleft()
+
+    def get(self) -> Generator:
+        """Coroutine: block until an item is available, then return it."""
+        while not self._items:
+            yield self._data_ready
+        return self._items.popleft()
+
+    def drain(self) -> list[Any]:
+        """Remove and return all queued items without blocking."""
+        items = list(self._items)
+        self._items.clear()
+        return items

@@ -1,0 +1,65 @@
+"""Workload generators and application models."""
+
+from .allocation import (
+    DEFAULT_FAMILIES,
+    AllocationTrace,
+    InstanceFamily,
+    InstanceRequest,
+    generate_allocation_trace,
+)
+from .apps import APP_PROFILES, AppClient, AppProfile, AppServer
+from .blockio import BlockWorkload, BlockWorkloadStats
+from .echo import EchoClient, EchoServer, EchoStats
+from .replay import ReplayResult, TraceReplayClient, run_trace_replay
+from .stranding import (
+    PoolingResult,
+    pooled_stranding,
+    schedule_trace,
+    stranded_fractions,
+)
+from .traceio import (
+    load_allocation_trace,
+    load_packet_trace,
+    save_allocation_trace,
+    save_packet_trace,
+)
+from .traces import (
+    RACK_A_PARAMS,
+    RACK_B_PARAMS,
+    PacketTrace,
+    TraceParams,
+    generate_trace,
+)
+
+__all__ = [
+    "EchoClient",
+    "EchoServer",
+    "EchoStats",
+    "AppServer",
+    "AppClient",
+    "AppProfile",
+    "APP_PROFILES",
+    "BlockWorkload",
+    "BlockWorkloadStats",
+    "TraceParams",
+    "PacketTrace",
+    "generate_trace",
+    "RACK_A_PARAMS",
+    "RACK_B_PARAMS",
+    "AllocationTrace",
+    "InstanceRequest",
+    "InstanceFamily",
+    "DEFAULT_FAMILIES",
+    "generate_allocation_trace",
+    "schedule_trace",
+    "stranded_fractions",
+    "pooled_stranding",
+    "PoolingResult",
+    "TraceReplayClient",
+    "ReplayResult",
+    "run_trace_replay",
+    "save_packet_trace",
+    "load_packet_trace",
+    "save_allocation_trace",
+    "load_allocation_trace",
+]

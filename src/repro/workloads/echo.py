@@ -1,0 +1,151 @@
+"""UDP echo workload (the §5.1 overhead microbenchmark).
+
+A client on its own switch port sends fixed-size UDP packets at a configured
+rate to an echo server instance; the server echoes them back and the client
+records per-packet round-trip latency.  Used for Figures 10, 11, 12 and 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..net.packet import Frame
+from ..net.transport import UdpSocket
+from ..sim.core import Simulator, USEC
+
+__all__ = ["EchoServer", "EchoClient", "EchoStats"]
+
+ECHO_PORT = 7
+
+
+class EchoServer:
+    """Echoes every datagram back to its sender."""
+
+    def __init__(self, sim: Simulator, endpoint, port: int = ECHO_PORT):
+        self.sock = UdpSocket(sim, endpoint, port)
+        self.sock.on_datagram(self._on_datagram)
+        self.echoed = 0
+
+    def _on_datagram(self, frame: Frame) -> None:
+        self.echoed += 1
+        self.sock.reply(frame)
+
+
+@dataclass
+class EchoStats:
+    """Client-side results."""
+
+    sent: int = 0
+    received: int = 0
+    latencies_us: List[float] = field(default_factory=list)
+    send_times: List[float] = field(default_factory=list)
+    recv_times: List[float] = field(default_factory=list)
+
+    @property
+    def lost(self) -> int:
+        return self.sent - self.received
+
+    def percentile_us(self, q: float) -> float:
+        if not self.latencies_us:
+            return float("nan")
+        return float(np.percentile(self.latencies_us, q))
+
+    def loss_timeline(self, bin_s: float, duration: float) -> np.ndarray:
+        """Lost packets per time bin (Figure 13a).
+
+        A sent packet counts as lost if its sequence number never came back;
+        the loss is attributed to the bin it was sent in.
+        """
+        bins = int(np.ceil(duration / bin_s))
+        lost = np.zeros(bins, dtype=int)
+        got = self._received_seqs
+        for seq, t in enumerate(self.send_times):
+            if seq not in got:
+                index = min(bins - 1, int(t / bin_s))
+                lost[index] += 1
+        return lost
+
+    # sequence numbers that round-tripped (populated by the client)
+    _received_seqs: set = field(default_factory=set)
+
+
+class EchoClient:
+    """Open-loop UDP load generator measuring round-trip latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint,
+        server_ip: int,
+        packet_size: int = 75,
+        rate_pps: float = 10_000.0,
+        port: int = 20_000,
+        server_port: int = ECHO_PORT,
+        rng: Optional[np.random.Generator] = None,
+        poisson: bool = False,
+    ):
+        self.sim = sim
+        self.endpoint = endpoint
+        self.server_ip = server_ip
+        self.server_port = server_port
+        self.packet_size = packet_size
+        self.rate_pps = rate_pps
+        self.rng = rng
+        self.poisson = poisson
+        self.sock = UdpSocket(sim, endpoint, port)
+        self.sock.on_datagram(self._on_reply)
+        self.stats = EchoStats()
+        self._send_time: Dict[int, float] = {}
+        self._next_seq = 0
+        self._task = None
+        self._stopped = False
+
+    def start(self, duration: float) -> None:
+        """Schedule sends covering ``duration`` seconds from now."""
+        self._stopped = False
+        self._schedule_next(first=True)
+        self.sim.schedule(duration, self._stop)
+
+    def _stop(self) -> None:
+        self._stopped = True
+
+    def _interval(self) -> float:
+        mean = 1.0 / self.rate_pps
+        if self.poisson and self.rng is not None:
+            return float(self.rng.exponential(mean))
+        return mean
+
+    def _schedule_next(self, first: bool = False) -> None:
+        if self._stopped:
+            return
+        delay = 0.0 if first else self._interval()
+        self.sim.schedule(delay, self._send_one)
+
+    def _send_one(self) -> None:
+        if self._stopped:
+            return
+        seq = self._next_seq
+        self._next_seq += 1
+        # Carry real bytes up to the declared wire size so CPU-side buffer
+        # traffic (stores, copies, writebacks) is accounted at full size.
+        from ..net.packet import HEADER_SIZE
+        pad = max(0, self.packet_size - HEADER_SIZE - 8)
+        payload = seq.to_bytes(8, "little") + b"\x00" * pad
+        self._send_time[seq] = self.sim.now
+        self.stats.sent += 1
+        self.stats.send_times.append(self.sim.now)
+        self.sock.sendto(payload, self.server_ip, self.server_port,
+                         wire_size=self.packet_size, seq=seq)
+        self._schedule_next()
+
+    def _on_reply(self, frame: Frame) -> None:
+        sent_at = self._send_time.pop(frame.seq, None)
+        if sent_at is None:
+            return
+        self.stats.received += 1
+        self.stats.latencies_us.append((self.sim.now - sent_at) / USEC)
+        self.stats.recv_times.append(self.sim.now)
+        self.stats._received_seqs.add(frame.seq)

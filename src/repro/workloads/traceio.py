@@ -1,0 +1,103 @@
+"""Trace persistence: save/load the workload traces.
+
+Lets users substitute *real* captures for the synthetic generators:
+
+* packet traces (Figure 3/12 inputs) as ``.npz`` -- arrays of arrival times
+  and sizes plus the link parameters;
+* allocation traces (Figure 2 input) as CSV with one instance per row
+  (arrive, depart, cores, memory, NIC, SSD, family, host) -- the same fields
+  the paper's production trace records.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import asdict
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..config import HostConfig
+from .allocation import AllocationTrace, InstanceRequest
+from .traces import PacketTrace, TraceParams
+
+__all__ = [
+    "save_packet_trace",
+    "load_packet_trace",
+    "save_allocation_trace",
+    "load_allocation_trace",
+]
+
+PathLike = Union[str, Path]
+
+
+def save_packet_trace(trace: PacketTrace, path: PathLike) -> None:
+    """Write a packet trace to ``.npz`` (times, sizes, link parameters)."""
+    params = trace.params
+    np.savez_compressed(
+        path,
+        times=trace.times,
+        sizes=trace.sizes,
+        duration_s=params.duration_s,
+        nic_gbps=params.nic_gbps,
+        packet_bytes=params.packet_bytes,
+    )
+
+
+def load_packet_trace(path: PathLike) -> PacketTrace:
+    """Load a packet trace saved by :func:`save_packet_trace` (or any .npz
+    with ``times``/``sizes``/``nic_gbps``/``duration_s`` arrays)."""
+    with np.load(path) as data:
+        params = TraceParams(
+            duration_s=float(data["duration_s"]),
+            nic_gbps=float(data["nic_gbps"]),
+            packet_bytes=int(data.get("packet_bytes", 1500)),
+        )
+        times = np.asarray(data["times"], dtype=float)
+        sizes = np.asarray(data["sizes"], dtype=np.int64)
+    order = np.argsort(times, kind="stable")
+    return PacketTrace(times[order], sizes[order], params)
+
+
+_ALLOC_FIELDS = ["index", "family", "arrive_s", "depart_s", "cores",
+                 "memory_gb", "nic_gbps", "ssd_tb", "host"]
+
+
+def save_allocation_trace(trace: AllocationTrace, path: PathLike) -> None:
+    """Write an allocation trace as CSV (one instance per row)."""
+    with open(path, "w", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=_ALLOC_FIELDS)
+        writer.writeheader()
+        for instance in trace.instances:
+            row = {field: getattr(instance, field) for field in _ALLOC_FIELDS}
+            row["host"] = "" if instance.host is None else instance.host
+            writer.writerow(row)
+
+
+def load_allocation_trace(
+    path: PathLike,
+    host: Optional[HostConfig] = None,
+) -> AllocationTrace:
+    """Load an allocation trace saved by :func:`save_allocation_trace`."""
+    host = host or HostConfig()
+    instances: List[InstanceRequest] = []
+    duration = 0.0
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            instance = InstanceRequest(
+                index=int(row["index"]),
+                family=row["family"],
+                arrive_s=float(row["arrive_s"]),
+                depart_s=float(row["depart_s"]),
+                cores=float(row["cores"]),
+                memory_gb=float(row["memory_gb"]),
+                nic_gbps=float(row["nic_gbps"]),
+                ssd_tb=float(row["ssd_tb"]),
+                host=int(row["host"]) if row["host"] != "" else None,
+            )
+            instances.append(instance)
+            duration = max(duration, instance.arrive_s)
+    capacity = np.array([host.cores, host.memory_gb, host.nic_gbps,
+                         host.ssd_tb])
+    return AllocationTrace(instances, capacity, duration)

@@ -1,0 +1,124 @@
+"""Chaos testing: random control-plane operation sequences.
+
+Hypothesis drives random interleavings of instance launches, NIC failures,
+migrations, rebalances and time advancement against a live pod, then checks
+the control plane's global invariants: every live instance has a healthy
+NIC and a valid lease, allocated bandwidth accounting is non-negative and
+conserved, and the datapath still moves packets afterwards.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.pod import CXLPod
+from repro.errors import AllocationError
+from repro.net.packet import make_ip
+from repro.workloads.echo import EchoClient, EchoServer
+
+Op = st.one_of(
+    st.tuples(st.just("launch"), st.integers(0, 3)),       # host index
+    st.tuples(st.just("fail_nic"), st.integers(0, 2)),     # nic index
+    st.tuples(st.just("migrate"), st.integers(0, 15)),     # instance index
+    st.tuples(st.just("rebalance"), st.just(0)),
+    st.tuples(st.just("advance"), st.integers(1, 30)),     # x10 ms
+)
+
+
+def build_pod():
+    pod = CXLPod(mode="oasis")
+    hosts = [pod.add_host() for _ in range(4)]
+    nics = [pod.add_nic(hosts[i]) for i in range(3)]
+    pod.add_nic(hosts[3], is_backup=True)
+    return pod, hosts, nics
+
+
+class TestControlPlaneChaos:
+    @given(st.lists(Op, min_size=1, max_size=25))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_invariants_hold_under_random_operations(self, ops):
+        pod, hosts, nics = build_pod()
+        launched = []
+        next_ip = 1
+        for op, arg in ops:
+            if op == "launch":
+                ip = make_ip(10, 0, 0, next_ip)
+                next_ip += 1
+                try:
+                    pod.add_instance(hosts[arg], ip=ip)
+                    launched.append(ip)
+                except AllocationError:
+                    pass   # no healthy device left: acceptable refusal
+            elif op == "fail_nic":
+                nic = nics[arg]
+                healthy = [d for d in pod.allocator.devices.values()
+                           if not d.failed]
+                # Keep at least one healthy device so failover can succeed.
+                if not nic.failed and len(healthy) > 1:
+                    nic.fail()
+            elif op == "migrate" and launched:
+                ip = launched[arg % len(launched)]
+                targets = [d.name for d in pod.allocator.devices.values()
+                           if not d.failed and not d.is_backup]
+                if targets:
+                    target = targets[arg % len(targets)]
+                    if pod.allocator.assignments.get(ip) != target:
+                        pod.allocator.migrate(ip, target)
+            elif op == "rebalance":
+                pod.allocator.rebalance_once()
+            elif op == "advance":
+                pod.run(arg * 0.01)
+        pod.run(0.3)   # let any in-flight failover settle
+
+        allocator = pod.allocator
+        # 1. Every launched instance is assigned to a non-failed device
+        #    with a valid lease.
+        for ip in launched:
+            nic_name = allocator.assignments.get(ip)
+            assert nic_name is not None
+            assert not allocator.devices[nic_name].failed
+            lease = allocator.leases.get(ip, nic_name)
+            assert lease is not None and not lease.revoked
+        # 2. No leases on failed devices.
+        for device in allocator.devices.values():
+            if device.failed:
+                assert allocator.leases.leases_on(device.name) == []
+        # 3. Bandwidth accounting stayed sane.
+        for device in allocator.devices.values():
+            assert device.allocated >= -1e-9
+        # 4. Frontend records agree with the allocator's map.
+        for ip in launched:
+            for frontend in pod.frontends.values():
+                if ip in frontend._records:
+                    record = frontend.record_of(ip)
+                    assert record.primary.name == allocator.assignments[ip]
+        pod.stop()
+
+    @given(st.lists(Op, min_size=1, max_size=15), st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_datapath_still_works_after_chaos(self, ops, seed):
+        pod, hosts, nics = build_pod()
+        ip = make_ip(10, 0, 0, 200)
+        inst = pod.add_instance(hosts[0], ip=ip)
+        EchoServer(pod.sim, inst)
+        for op, arg in ops:
+            if op == "fail_nic":
+                nic = nics[arg]
+                healthy = [d for d in pod.allocator.devices.values()
+                           if not d.failed]
+                if not nic.failed and len(healthy) > 1:
+                    nic.fail()
+            elif op == "advance":
+                pod.run(arg * 0.01)
+            elif op == "rebalance":
+                pod.allocator.rebalance_once()
+        pod.run(0.3)
+        client = pod.add_external_client(ip=make_ip(10, 0, 9, 1))
+        echo = EchoClient(pod.sim, client, ip, rate_pps=2000)
+        echo.start(0.05)
+        pod.run(0.1)
+        assert echo.stats.received > 0.9 * echo.stats.sent
+        pod.stop()

@@ -1,0 +1,153 @@
+"""Tests for the driver event-loop framework and ARP/endpoint pieces."""
+
+import pytest
+
+from repro.core.arp import ArpRegistry
+from repro.core.engine import Driver
+from repro.net.endpoint import ExternalEndpoint
+from repro.net.packet import BROADCAST_MAC, Frame, make_ip, make_mac
+from repro.net.switch import LearningSwitch
+from repro.sim.core import USEC, Simulator
+
+
+class CountingDriver(Driver):
+    """Drains a list, charging 100 ns per item."""
+
+    def __init__(self, sim):
+        super().__init__(sim, "counting")
+        self.queue = []
+        self.processed = []
+        self.passes = 0
+
+    def _process(self):
+        self.passes += 1
+        if not self.queue:
+            return 0, 10.0   # idle-pass cost, no items
+        items = list(self.queue)
+        self.queue.clear()
+        self.processed.extend(items)
+        return len(items), 100.0 * len(items)
+
+
+class TestDriverLoop:
+    def test_kick_wakes_and_processes(self, sim):
+        driver = CountingDriver(sim)
+        driver.start()
+        driver.queue.append("a")
+        driver.kick()
+        sim.run(until=1e-3)
+        assert driver.processed == ["a"]
+        assert driver.wakeups == 1
+
+    def test_kick_before_start_latches(self, sim):
+        driver = CountingDriver(sim)
+        driver.queue.append("early")
+        driver.kick()
+        driver.start()
+        sim.run(until=1e-3)
+        assert driver.processed == ["early"]
+
+    def test_work_during_processing_drained_same_wake(self, sim):
+        driver = CountingDriver(sim)
+        driver.start()
+        driver.queue.append("first")
+        driver.kick()
+
+        # Inject more work while the driver sleeps off its processing cost.
+        sim.schedule(50e-9, driver.queue.append, "second")
+        sim.run(until=1e-3)
+        assert driver.processed == ["first", "second"]
+
+    def test_busy_time_accounted(self, sim):
+        driver = CountingDriver(sim)
+        driver.start()
+        driver.queue.extend(["a", "b", "c"])
+        driver.kick()
+        sim.run(until=1e-3)
+        assert driver.busy_ns >= 300.0
+
+    def test_idle_pass_does_not_spin(self, sim):
+        """An idle pass (cost > 0, items == 0) must not loop forever."""
+        driver = CountingDriver(sim)
+        driver.start()
+        driver.kick()
+        sim.run(until=1e-3)
+        assert driver.passes <= 2
+
+    def test_stop_terminates_loop(self, sim):
+        driver = CountingDriver(sim)
+        driver.start()
+        driver.stop()
+        driver.queue.append("late")
+        driver.kick()
+        sim.run(until=1e-3)
+        assert driver.processed == []
+
+    def test_start_idempotent(self, sim):
+        driver = CountingDriver(sim)
+        driver.start()
+        driver.start()
+        driver.queue.append("x")
+        driver.kick()
+        sim.run(until=1e-3)
+        assert driver.processed == ["x"]
+
+
+class TestArpRegistry:
+    def test_announce_and_lookup(self):
+        arp = ArpRegistry()
+        arp.announce(make_ip(10, 0, 0, 1), make_mac(1))
+        assert arp.lookup(make_ip(10, 0, 0, 1)) == make_mac(1)
+
+    def test_unknown_ip_resolves_to_broadcast(self):
+        arp = ArpRegistry()
+        assert arp.lookup(make_ip(1, 1, 1, 1)) == BROADCAST_MAC
+
+    def test_garp_counted_and_updates(self):
+        arp = ArpRegistry()
+        ip = make_ip(10, 0, 0, 1)
+        arp.announce(ip, make_mac(1))
+        arp.announce(ip, make_mac(2), garp=True)
+        assert arp.lookup(ip) == make_mac(2)
+        assert arp.garp_count == 1
+
+    def test_forget(self):
+        arp = ArpRegistry()
+        ip = make_ip(10, 0, 0, 1)
+        arp.announce(ip, make_mac(1))
+        arp.forget(ip)
+        assert ip not in arp
+        assert len(arp) == 0
+
+
+class TestExternalEndpoint:
+    def test_send_fills_addresses_and_reaches_switch(self, sim):
+        switch = LearningSwitch(sim)
+        port = switch.new_port()
+        sink_port = switch.new_port()
+        sink = []
+        sink_port.attach(sink.append)
+        arp = ArpRegistry()
+        dst_ip = make_ip(10, 0, 0, 9)
+        arp.announce(dst_ip, make_mac(9))
+        endpoint = ExternalEndpoint(sim, "client", make_mac(200),
+                                    make_ip(10, 0, 9, 1), port)
+        endpoint.set_arp(arp)
+        endpoint.send_frame(Frame(dst_mac=0, src_mac=0, dst_ip=dst_ip))
+        sim.run_all()
+        assert len(sink) == 1
+        assert sink[0].src_mac == endpoint.mac
+        assert sink[0].src_ip == endpoint.ip
+        assert sink[0].dst_mac == make_mac(9)
+
+    def test_stack_latency_applied(self, sim):
+        switch = LearningSwitch(sim)
+        port = switch.new_port()
+        endpoint = ExternalEndpoint(sim, "client", make_mac(200),
+                                    make_ip(10, 0, 9, 1), port,
+                                    stack_latency_us=3.0)
+        got = []
+        endpoint.add_handler(lambda f: got.append(sim.now))
+        endpoint._on_wire_rx(Frame(dst_mac=endpoint.mac, src_mac=make_mac(9)))
+        sim.run_all()
+        assert got[0] == pytest.approx(3 * USEC)

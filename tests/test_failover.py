@@ -1,0 +1,192 @@
+"""Integration tests for NIC failover and graceful migration (§3.3.3-§3.3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pod import CXLPod
+from repro.net.packet import make_ip
+from repro.workloads.echo import EchoClient, EchoServer
+
+SERVER_IP = make_ip(10, 0, 0, 1)
+CLIENT_IP = make_ip(10, 0, 9, 1)
+
+
+def build_failover_pod():
+    pod = CXLPod(mode="oasis")
+    h0, h1 = pod.add_host(), pod.add_host()
+    nic0 = pod.add_nic(h0)
+    nic1 = pod.add_nic(h1, is_backup=True)
+    inst = pod.add_instance(h1, ip=SERVER_IP, nic=nic0)
+    client = pod.add_external_client(ip=CLIENT_IP)
+    return pod, inst, client, nic0, nic1
+
+
+class TestFailover:
+    def test_instance_registered_with_backup_at_launch(self):
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        backend1 = pod.backends[nic1.name]
+        assert SERVER_IP in backend1.registered_ips   # §3.3.3: at launch
+
+    def test_switch_port_failure_detected_and_failed_over(self):
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        pod.run(0.1)
+        pod.fail_switch_port(nic0)
+        pod.run(0.2)
+        assert pod.allocator.failovers_executed == 1
+        assert pod.allocator.devices[nic0.name].failed
+        record = pod.frontends["h1"].record_of(SERVER_IP)
+        assert record.primary.name == nic1.name
+
+    def test_nic_hardware_failure_also_detected(self):
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        pod.run(0.1)
+        pod.fail_nic(nic0)
+        pod.run(0.2)
+        assert pod.allocator.failovers_executed == 1
+
+    def test_mac_borrowed_by_backup(self):
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        pod.run(0.1)
+        # Traffic taught the switch nic0's port.
+        EchoServer(pod.sim, inst)
+        ec = EchoClient(pod.sim, client, SERVER_IP, rate_pps=5000)
+        ec.start(0.05)
+        pod.run(0.06)
+        old_port = pod.switch.port_of_mac(nic0.mac)
+        pod.fail_switch_port(nic0)
+        pod.run(0.2)
+        assert pod.switch.port_of_mac(nic0.mac) != old_port
+
+    def test_traffic_resumes_after_failover(self):
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        EchoServer(pod.sim, inst)
+        ec = EchoClient(pod.sim, client, SERVER_IP, rate_pps=5000)
+        ec.start(1.0)
+        pod.run(0.5)
+        received_before = ec.stats.received
+        pod.fail_switch_port(nic0)
+        pod.run(0.7)
+        assert ec.stats.received > received_before + 1000
+
+    def test_interruption_lands_near_38ms(self):
+        """Figure 13: detection + allocator + notify + MAC borrow ~38 ms."""
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        EchoServer(pod.sim, inst)
+        ec = EchoClient(pod.sim, client, SERVER_IP, rate_pps=4000)
+        ec.start(1.2)
+        # Inject just after a 25 ms monitor tick for worst-case detection.
+        pod.run(0.502)
+        pod.fail_switch_port(nic0)
+        pod.run(0.9)
+        gaps = np.diff(np.asarray(ec.stats.recv_times))
+        interruption_ms = gaps.max() * 1000
+        assert 20.0 <= interruption_ms <= 60.0
+
+    def test_leases_moved_to_backup(self):
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        pod.run(0.1)
+        assert pod.allocator.leases.get(SERVER_IP, nic0.name) is not None
+        pod.fail_switch_port(nic0)
+        pod.run(0.2)
+        assert pod.allocator.leases.get(SERVER_IP, nic1.name) is not None
+        assert pod.allocator.assignments[SERVER_IP] == nic1.name
+
+    def test_failure_reported_only_once(self):
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        pod.run(0.1)
+        pod.fail_switch_port(nic0)
+        pod.run(0.5)   # many monitor ticks while down
+        assert pod.allocator.failovers_executed == 1
+
+    def test_host_failure_inferred_from_missing_telemetry(self):
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        pod.allocator.start_host_monitor()
+        pod.run(0.3)
+        # Silence h0's backend entirely (host crash).
+        backend0 = pod.backends[nic0.name]
+        backend0.stop_monitors()
+        backend0.stop()
+        pod.run(0.6)
+        assert pod.allocator.failovers_executed == 1
+        assert pod.allocator.devices[nic0.name].failed
+
+
+class TestMigration:
+    def test_graceful_migration_updates_mac_and_garp(self):
+        pod = CXLPod(mode="oasis")
+        h0, h1 = pod.add_host(), pod.add_host()
+        nic0, nic1 = pod.add_nic(h0), pod.add_nic(h1)
+        inst = pod.add_instance(h1, ip=SERVER_IP, nic=nic0)
+        pod.run(0.01)
+        garps_before = pod.arp.garp_count
+        pod.allocator.migrate(SERVER_IP, nic1.name)
+        pod.run(0.01)
+        record = pod.frontends["h1"].record_of(SERVER_IP)
+        assert record.primary.name == nic1.name
+        assert record.current_mac == nic1.mac
+        assert pod.arp.garp_count == garps_before + 1
+        assert pod.arp.lookup(SERVER_IP) == nic1.mac
+
+    def test_grace_period_keeps_old_registration(self):
+        pod = CXLPod(mode="oasis")
+        h0, h1 = pod.add_host(), pod.add_host()
+        nic0, nic1 = pod.add_nic(h0), pod.add_nic(h1)
+        inst = pod.add_instance(h1, ip=SERVER_IP, nic=nic0)
+        pod.run(0.01)
+        pod.allocator.migrate(SERVER_IP, nic1.name)
+        pod.run(1.0)   # still inside the 5 s grace period
+        assert SERVER_IP in pod.backends[nic0.name].registered_ips
+        pod.run(5.0)   # grace period over
+        assert SERVER_IP not in pod.backends[nic0.name].registered_ips
+
+    def test_traffic_flows_after_migration(self):
+        pod = CXLPod(mode="oasis")
+        h0, h1 = pod.add_host(), pod.add_host()
+        nic0, nic1 = pod.add_nic(h0), pod.add_nic(h1)
+        inst = pod.add_instance(h1, ip=SERVER_IP, nic=nic0)
+        client = pod.add_external_client(ip=CLIENT_IP)
+        EchoServer(pod.sim, inst)
+        ec = EchoClient(pod.sim, client, SERVER_IP, rate_pps=5000)
+        ec.start(0.2)
+        pod.run(0.05)
+        pod.allocator.migrate(SERVER_IP, nic1.name)
+        pod.run(0.25)
+        assert ec.stats.lost <= ec.stats.sent * 0.01   # ~no loss (§3.3.4)
+        assert nic1.tx_frames > 0
+
+    def test_rebalance_moves_instance_off_hottest_nic(self):
+        pod = CXLPod(mode="oasis")
+        h0, h1 = pod.add_host(), pod.add_host()
+        nic0, nic1 = pod.add_nic(h0), pod.add_nic(h1)
+        inst = pod.add_instance(h1, ip=SERVER_IP, nic=nic0)
+        pod.run(0.01)
+        pod.allocator.devices[nic0.name].measured_load = 10e9
+        pod.allocator.devices[nic1.name].measured_load = 1e9
+        moved = pod.allocator.rebalance_once()
+        pod.run(0.01)
+        assert moved is not None
+        assert pod.allocator.assignments[SERVER_IP] == nic1.name
+
+
+class TestFailoverRaces:
+    def test_migration_onto_undetected_failed_nic_recovers(self):
+        """Regression (found by the chaos suite): an instance migrated onto a
+        NIC that has already failed -- but whose failure is not yet detected
+        -- must be rerouted to the allocator's replacement, never back to its
+        stale per-instance backup (which may be the failed NIC itself)."""
+        pod = CXLPod(mode="oasis")
+        hosts = [pod.add_host() for _ in range(4)]
+        nic0 = pod.add_nic(hosts[0])
+        nic1 = pod.add_nic(hosts[1])
+        nic2 = pod.add_nic(hosts[2])
+        backup = pod.add_nic(hosts[3], is_backup=True)
+        inst = pod.add_instance(hosts[3], ip=SERVER_IP)   # lands on backup
+        nic0.fail()                                       # not yet detected
+        pod.allocator.migrate(SERVER_IP, nic0.name)       # race: onto dead NIC
+        pod.run(0.3)                                      # detection + failover
+        record = pod.frontends[hosts[3].name].record_of(SERVER_IP)
+        assigned = pod.allocator.assignments[SERVER_IP]
+        assert assigned == record.primary.name            # views agree
+        assert not pod.allocator.devices[assigned].failed
+        lease = pod.allocator.leases.get(SERVER_IP, assigned)
+        assert lease is not None and not lease.revoked

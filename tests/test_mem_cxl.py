@@ -1,0 +1,120 @@
+"""Tests for the shared CXL pool model."""
+
+import pytest
+
+from repro.config import CACHE_LINE, CXLConfig
+from repro.errors import MemoryFault
+from repro.mem.cxl import CXLMemoryPool, LinkStats, line_base, line_index, lines_spanned
+
+
+class TestAddressMath:
+    def test_line_index(self):
+        assert line_index(0) == 0
+        assert line_index(63) == 0
+        assert line_index(64) == 1
+
+    def test_line_base(self):
+        assert line_base(100) == 64
+        assert line_base(64) == 64
+
+    def test_lines_spanned(self):
+        assert list(lines_spanned(0, 64)) == [0]
+        assert list(lines_spanned(60, 8)) == [0, 1]
+        assert list(lines_spanned(0, 0)) == []
+        assert list(lines_spanned(128, 1)) == [2]
+
+
+class TestPool:
+    def test_unwritten_reads_as_zero(self, small_pool):
+        assert small_pool.dma_read(0, 128) == bytes(128)
+
+    def test_dma_roundtrip(self, small_pool):
+        data = bytes(range(200)) + b"tail"
+        small_pool.dma_write(100, data)
+        assert small_pool.dma_read(100, len(data)) == data
+
+    def test_unaligned_write_preserves_neighbours(self, small_pool):
+        small_pool.dma_write(0, b"\xAA" * 128)
+        small_pool.dma_write(60, b"\xBB" * 8)
+        out = small_pool.dma_read(0, 128)
+        assert out[:60] == b"\xAA" * 60
+        assert out[60:68] == b"\xBB" * 8
+        assert out[68:] == b"\xAA" * 60
+
+    def test_out_of_bounds_rejected(self, small_pool):
+        with pytest.raises(MemoryFault):
+            small_pool.dma_read(small_pool.size - 4, 8)
+        with pytest.raises(MemoryFault):
+            small_pool.dma_write(-1, b"x")
+
+    def test_line_write_size_enforced(self, small_pool):
+        with pytest.raises(MemoryFault):
+            small_pool.write_line(0, b"short")
+
+    def test_read_line_and_write_line(self, small_pool):
+        payload = bytes(range(64))
+        small_pool.write_line(3, payload)
+        assert small_pool.read_line(3) == payload
+
+    def test_zero_size_pool_rejected(self):
+        with pytest.raises(MemoryFault):
+            CXLMemoryPool(CXLConfig(), size=0)
+
+    def test_touched_lines_enumerates_writes(self, small_pool):
+        small_pool.dma_write(64, b"x" * 64)
+        lines = dict(small_pool.touched_lines())
+        assert 1 in lines
+
+
+class TestAccounting:
+    def test_dma_accounts_lines_by_default(self, small_pool):
+        small_pool.dma_write(0, b"x" * 10, host="h0")
+        stats = small_pool.stats_for("h0")
+        assert stats.write_bytes["payload"] == CACHE_LINE
+
+    def test_account_bytes_override(self, small_pool):
+        small_pool.dma_write(0, b"x" * 48, host="h0", account_bytes=1500)
+        assert small_pool.stats_for("h0").write_bytes["payload"] == 1500
+
+    def test_categories_separate(self, small_pool):
+        small_pool.dma_write(0, b"x" * 64, host="h0", category="message")
+        small_pool.dma_read(0, 64, host="h0", category="payload")
+        stats = small_pool.stats_for("h0")
+        assert stats.write_bytes["message"] == 64
+        assert stats.read_bytes["payload"] == 64
+
+    def test_no_host_no_accounting(self, small_pool):
+        small_pool.dma_write(0, b"x" * 64)
+        assert small_pool.total_traffic() == 0
+
+    def test_total_and_direction(self, small_pool):
+        small_pool.dma_write(0, b"x" * 64, host="h0")
+        small_pool.dma_read(0, 64, host="h0")
+        stats = small_pool.stats_for("h0")
+        assert stats.total("read") == 64
+        assert stats.total("write") == 64
+        assert stats.total() == 128
+
+    def test_snapshot_delta(self, small_pool):
+        small_pool.dma_write(0, b"x" * 64, host="h0")
+        snap = small_pool.stats_for("h0").snapshot()
+        small_pool.dma_write(64, b"y" * 64, host="h0")
+        delta = small_pool.stats_for("h0").delta_since(snap)
+        assert delta.write_bytes["payload"] == 64
+
+    def test_by_category_merges_directions(self, small_pool):
+        small_pool.dma_write(0, b"x" * 64, host="h0", category="message")
+        small_pool.dma_read(0, 64, host="h0", category="message")
+        assert small_pool.stats_for("h0").by_category()["message"] == 128
+
+
+class TestTransferTiming:
+    def test_transfer_time_scales_with_bytes(self, small_pool):
+        t1 = small_pool.transfer_time_s(1500)
+        t2 = small_pool.transfer_time_s(3000)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_x8_link_transfer_time(self, small_pool):
+        # 32 GB/s * 0.92 efficiency: 1500 B in ~51 ns.
+        t = small_pool.transfer_time_s(1500)
+        assert 30e-9 < t < 80e-9

@@ -1,0 +1,159 @@
+"""Tests for region allocation (TX areas) and fixed pools (RX buffers)."""
+
+import pytest
+
+from repro.errors import MemoryFault
+from repro.mem.layout import FixedPool, Region, RegionAllocator, align_up
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(128, 64) == 128
+
+    def test_rounds_up(self):
+        assert align_up(65, 64) == 128
+
+    def test_zero(self):
+        assert align_up(0, 64) == 0
+
+
+class TestRegion:
+    def test_contains(self):
+        r = Region(100, 50)
+        assert r.contains(100)
+        assert r.contains(149)
+        assert not r.contains(150)
+        assert r.contains(100, 50)
+        assert not r.contains(100, 51)
+
+    def test_offset_of(self):
+        r = Region(100, 50)
+        assert r.offset_of(120) == 20
+        with pytest.raises(MemoryFault):
+            r.offset_of(99)
+
+    def test_subregion(self):
+        r = Region(100, 50, "parent")
+        s = r.subregion(10, 20, "child")
+        assert s.base == 110 and s.size == 20
+        with pytest.raises(MemoryFault):
+            r.subregion(40, 20)
+
+
+class TestRegionAllocator:
+    def test_alloc_within_region(self):
+        alloc = RegionAllocator(Region(0, 4096))
+        r = alloc.alloc(100)
+        assert r.size == 100
+        assert 0 <= r.base and r.base + 100 <= 4096
+
+    def test_allocations_do_not_overlap(self):
+        alloc = RegionAllocator(Region(0, 4096))
+        regions = [alloc.alloc(100) for _ in range(10)]
+        spans = sorted((r.base, r.base + align_up(r.size, 64)) for r in regions)
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+    def test_out_of_memory_raises(self):
+        alloc = RegionAllocator(Region(0, 256))
+        alloc.alloc(200)
+        with pytest.raises(MemoryFault):
+            alloc.alloc(200)
+
+    def test_free_allows_reuse(self):
+        alloc = RegionAllocator(Region(0, 256))
+        r = alloc.alloc(256)
+        with pytest.raises(MemoryFault):
+            alloc.alloc(64)
+        alloc.free(r)
+        alloc.alloc(256)
+
+    def test_double_free_rejected(self):
+        alloc = RegionAllocator(Region(0, 4096))
+        r = alloc.alloc(64)
+        alloc.free(r)
+        with pytest.raises(MemoryFault):
+            alloc.free(r)
+
+    def test_coalescing_merges_adjacent_blocks(self):
+        alloc = RegionAllocator(Region(0, 4096))
+        regions = [alloc.alloc(1024) for _ in range(4)]
+        for r in regions:
+            alloc.free(r)
+        # After coalescing a full-size allocation must succeed again.
+        alloc.alloc(4096)
+
+    def test_coalescing_out_of_order_frees(self):
+        alloc = RegionAllocator(Region(0, 4096))
+        regions = [alloc.alloc(1024) for _ in range(4)]
+        for r in (regions[2], regions[0], regions[3], regions[1]):
+            alloc.free(r)
+        alloc.alloc(4096)
+
+    def test_free_bytes_accounting(self):
+        alloc = RegionAllocator(Region(0, 4096))
+        before = alloc.free_bytes
+        r = alloc.alloc(100)
+        assert alloc.free_bytes == before - align_up(100, 64)
+        alloc.free(r)
+        assert alloc.free_bytes == before
+
+    def test_zero_alloc_rejected(self):
+        alloc = RegionAllocator(Region(0, 4096))
+        with pytest.raises(MemoryFault):
+            alloc.alloc(0)
+
+    def test_alignment_respected(self):
+        alloc = RegionAllocator(Region(0, 4096), alignment=256)
+        r1 = alloc.alloc(10)
+        r2 = alloc.alloc(10)
+        assert r1.base % 256 == 0
+        assert r2.base % 256 == 0
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(MemoryFault):
+            RegionAllocator(Region(0, 4096), alignment=100)
+
+
+class TestFixedPool:
+    def test_alloc_free_recycle(self):
+        pool = FixedPool(Region(0, 8192), 2048)
+        assert pool.capacity == 4
+        addrs = [pool.alloc() for _ in range(4)]
+        assert pool.alloc() is None
+        pool.free(addrs[0])
+        assert pool.alloc() == addrs[0]
+
+    def test_buffers_do_not_overlap(self):
+        pool = FixedPool(Region(0, 8192), 2048)
+        addrs = sorted(pool.alloc() for _ in range(4))
+        for a, b in zip(addrs, addrs[1:]):
+            assert b - a == 2048
+
+    def test_double_free_rejected(self):
+        pool = FixedPool(Region(0, 8192), 2048)
+        addr = pool.alloc()
+        pool.free(addr)
+        with pytest.raises(MemoryFault):
+            pool.free(addr)
+
+    def test_foreign_free_rejected(self):
+        pool = FixedPool(Region(0, 8192), 2048)
+        with pytest.raises(MemoryFault):
+            pool.free(12345)
+
+    def test_outstanding_tracking(self):
+        pool = FixedPool(Region(0, 8192), 2048)
+        addr = pool.alloc()
+        assert pool.outstanding == 1
+        assert pool.available == 3
+        pool.free(addr)
+        assert pool.outstanding == 0
+
+    def test_unaligned_buffer_size_rejected(self):
+        with pytest.raises(MemoryFault):
+            FixedPool(Region(0, 8192), 1000)
+
+    def test_too_small_region_rejected(self):
+        with pytest.raises(MemoryFault):
+            FixedPool(Region(0, 1024), 2048)

@@ -1,0 +1,106 @@
+"""Tests for the frame wire format and address helpers."""
+
+import pytest
+
+from repro.net.packet import (
+    BROADCAST_MAC,
+    ETH_MIN_FRAME,
+    HEADER_SIZE,
+    PROTO_TCP,
+    PROTO_UDP,
+    Frame,
+    ip_str,
+    mac_str,
+    make_ip,
+    make_mac,
+)
+
+
+class TestAddresses:
+    def test_make_ip(self):
+        assert make_ip(10, 0, 0, 1) == 0x0A000001
+
+    def test_ip_str_roundtrip(self):
+        assert ip_str(make_ip(192, 168, 1, 200)) == "192.168.1.200"
+
+    def test_make_mac_locally_administered(self):
+        mac = make_mac(3, 1)
+        assert (mac >> 40) == 0x02
+
+    def test_mac_str_format(self):
+        assert mac_str(make_mac(0, 0)) == "02:00:00:00:00:00"
+
+    def test_macs_unique_per_host_device(self):
+        assert make_mac(1, 0) != make_mac(1, 1) != make_mac(2, 0)
+
+
+class TestFrame:
+    def _frame(self, **kwargs):
+        defaults = dict(
+            dst_mac=make_mac(1), src_mac=make_mac(2),
+            src_ip=make_ip(10, 0, 0, 1), dst_ip=make_ip(10, 0, 0, 2),
+            proto=PROTO_UDP, src_port=1234, dst_port=80,
+            seq=42, payload=b"payload-bytes",
+        )
+        defaults.update(kwargs)
+        return Frame(**defaults)
+
+    def test_pack_unpack_roundtrip(self):
+        frame = self._frame(wire_size=1500)
+        out = Frame.unpack(frame.pack())
+        assert out.dst_mac == frame.dst_mac
+        assert out.src_mac == frame.src_mac
+        assert out.src_ip == frame.src_ip
+        assert out.dst_ip == frame.dst_ip
+        assert out.proto == frame.proto
+        assert out.src_port == frame.src_port
+        assert out.dst_port == frame.dst_port
+        assert out.seq == frame.seq
+        assert out.payload == frame.payload
+        assert out.wire_size == 1500
+
+    def test_wire_size_defaults_to_min_frame(self):
+        frame = self._frame(payload=b"x")
+        assert frame.wire_size == ETH_MIN_FRAME
+
+    def test_wire_size_grows_with_payload(self):
+        frame = self._frame(payload=b"x" * 1000)
+        assert frame.wire_size == HEADER_SIZE + 1000
+
+    def test_wire_size_floor_is_packed_size(self):
+        frame = self._frame(payload=b"x" * 200, wire_size=100)
+        assert frame.wire_size == HEADER_SIZE + 200
+
+    def test_packed_size_excludes_padding(self):
+        frame = self._frame(payload=b"x" * 10, wire_size=1500)
+        assert frame.packed_size == HEADER_SIZE + 10
+        assert len(frame.pack()) == frame.packed_size
+
+    def test_reply_template_swaps_addresses(self):
+        frame = self._frame()
+        reply = frame.reply_template()
+        assert reply.dst_mac == frame.src_mac
+        assert reply.src_ip == frame.dst_ip
+        assert reply.dst_ip == frame.src_ip
+        assert reply.dst_port == frame.src_port
+        assert reply.src_port == frame.dst_port
+
+    def test_reply_template_overrides(self):
+        reply = self._frame().reply_template(payload=b"pong", flags=1)
+        assert reply.payload == b"pong"
+        assert reply.flags == 1
+
+    def test_tcp_fields_roundtrip(self):
+        frame = self._frame(proto=PROTO_TCP, ack=7, flags=1)
+        out = Frame.unpack(frame.pack())
+        assert out.ack == 7
+        assert out.flags == 1
+
+    def test_meta_not_serialized(self):
+        frame = self._frame()
+        frame.meta["timestamp"] = 123.0
+        out = Frame.unpack(frame.pack())
+        assert out.meta == {}
+
+    def test_broadcast_mac(self):
+        assert BROADCAST_MAC == 0xFFFFFFFFFFFF

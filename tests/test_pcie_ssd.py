@@ -1,0 +1,147 @@
+"""Tests for the simulated NVMe SSD."""
+
+import pytest
+
+from repro.config import SSDConfig
+from repro.errors import DeviceError, DeviceFailedError
+from repro.host.host import Host
+from repro.mem.cxl import CXLMemoryPool
+from repro.pcie.queues import NVMeCommand
+from repro.pcie.ssd import (
+    NVME_OP_READ,
+    NVME_OP_WRITE,
+    NVME_STATUS_FAILED,
+    NVME_STATUS_LBA_RANGE,
+    NVME_STATUS_OK,
+    SimSSD,
+)
+from repro.sim.core import Simulator, USEC
+
+
+@pytest.fixture
+def rig(sim):
+    pool = CXLMemoryPool(size=1 << 20)
+    host = Host(sim, "h0", pool)
+    ssd = SimSSD(sim, host, SSDConfig(capacity_bytes=1 << 30), name="ssd0")
+    comps = []
+    ssd.on_completion = comps.append
+    return pool, host, ssd, comps
+
+
+BS = 4096
+
+
+class TestIO:
+    def test_write_then_read_roundtrip(self, sim, rig):
+        pool, host, ssd, comps = rig
+        data = bytes(range(256)) * 16
+        pool.dma_write(0, data)
+        ssd.submit(NVMeCommand(NVME_OP_WRITE, slba=5, nlb=1, addr=0, cid=1))
+        sim.run_all()
+        ssd.submit(NVMeCommand(NVME_OP_READ, slba=5, nlb=1, addr=8192, cid=2))
+        sim.run_all()
+        assert [c.status for c in comps] == [NVME_STATUS_OK, NVME_STATUS_OK]
+        assert pool.dma_read(8192, BS) == data
+
+    def test_unwritten_blocks_read_zero(self, sim, rig):
+        pool, host, ssd, comps = rig
+        pool.dma_write(0, b"\xFF" * BS)   # pre-dirty the target buffer
+        ssd.submit(NVMeCommand(NVME_OP_READ, slba=100, nlb=1, addr=0, cid=1))
+        sim.run_all()
+        assert pool.dma_read(0, BS) == bytes(BS)
+
+    def test_multi_block_io(self, sim, rig):
+        pool, host, ssd, comps = rig
+        data = bytes([7]) * (3 * BS)
+        pool.dma_write(0, data)
+        ssd.submit(NVMeCommand(NVME_OP_WRITE, slba=0, nlb=3, addr=0, cid=1))
+        sim.run_all()
+        ssd.submit(NVMeCommand(NVME_OP_READ, slba=1, nlb=1, addr=BS * 4, cid=2))
+        sim.run_all()
+        assert pool.dma_read(BS * 4, BS) == bytes([7]) * BS
+
+    def test_lba_out_of_range_errors(self, sim, rig):
+        pool, host, ssd, comps = rig
+        ssd.submit(NVMeCommand(NVME_OP_READ, slba=ssd.num_blocks, nlb=1,
+                               addr=0, cid=1))
+        sim.run_all()
+        assert comps[0].status == NVME_STATUS_LBA_RANGE
+
+    def test_zero_nlb_errors(self, sim, rig):
+        pool, host, ssd, comps = rig
+        ssd.submit(NVMeCommand(NVME_OP_READ, slba=0, nlb=0, addr=0, cid=1))
+        sim.run_all()
+        assert comps[0].status == NVME_STATUS_LBA_RANGE
+
+    def test_unknown_opcode_rejected(self, sim, rig):
+        _, _, ssd, _ = rig
+        with pytest.raises(DeviceError):
+            ssd.submit(NVMeCommand(0x55, slba=0, nlb=1, addr=0))
+
+    def test_counters(self, sim, rig):
+        pool, host, ssd, comps = rig
+        pool.dma_write(0, b"x" * BS)
+        ssd.submit(NVMeCommand(NVME_OP_WRITE, slba=0, nlb=1, addr=0))
+        ssd.submit(NVMeCommand(NVME_OP_READ, slba=0, nlb=1, addr=BS))
+        sim.run_all()
+        assert ssd.writes == 1 and ssd.reads == 1
+        assert ssd.write_bytes == BS and ssd.read_bytes == BS
+
+
+class TestTiming:
+    def test_read_latency_floor(self, sim, rig):
+        pool, host, ssd, comps = rig
+        ssd.submit(NVMeCommand(NVME_OP_READ, slba=0, nlb=1, addr=0, cid=1))
+        sim.run_all()
+        assert comps[0].timestamp >= ssd.config.read_latency_us * USEC
+
+    def test_write_faster_than_read(self, sim, rig):
+        pool, host, ssd, comps = rig
+        ssd.submit(NVMeCommand(NVME_OP_WRITE, slba=0, nlb=1, addr=0, cid=1))
+        sim.run_all()
+        write_done = comps[0].timestamp
+        assert write_done < ssd.config.read_latency_us * USEC
+
+    def test_queued_commands_overlap_media_latency(self, sim, rig):
+        """With queue depth, total time for N reads << N * latency."""
+        pool, host, ssd, comps = rig
+        for i in range(8):
+            ssd.submit(NVMeCommand(NVME_OP_READ, slba=i, nlb=1, addr=0, cid=i))
+        sim.run_all()
+        total = max(c.timestamp for c in comps)
+        assert total < 8 * ssd.config.read_latency_us * USEC * 0.5
+
+    def test_bandwidth_serializes_large_transfers(self, sim, rig):
+        pool, host, ssd, comps = rig
+        nlb = 64   # 256 KB each
+        for i in range(4):
+            ssd.submit(NVMeCommand(NVME_OP_READ, slba=0, nlb=nlb, addr=0, cid=i))
+        sim.run_all()
+        total = max(c.timestamp for c in comps)
+        transfer = 4 * nlb * BS / ssd.config.bytes_per_sec
+        assert total >= transfer
+
+
+class TestFailure:
+    def test_failed_drive_errors_new_submissions(self, sim, rig):
+        _, _, ssd, _ = rig
+        ssd.fail()
+        with pytest.raises(DeviceFailedError):
+            ssd.submit(NVMeCommand(NVME_OP_READ, slba=0, nlb=1, addr=0))
+
+    def test_fail_drains_queued_commands_with_errors(self, sim, rig):
+        pool, host, ssd, comps = rig
+        for i in range(4):
+            ssd.submit(NVMeCommand(NVME_OP_READ, slba=0, nlb=1, addr=0, cid=i))
+        ssd.fail()
+        sim.run_all()
+        assert len(comps) == 4
+        assert all(c.status == NVME_STATUS_FAILED for c in comps)
+
+    def test_inflight_command_fails_cleanly(self, sim, rig):
+        pool, host, ssd, comps = rig
+        ssd.submit(NVMeCommand(NVME_OP_READ, slba=0, nlb=1, addr=0, cid=1))
+        sim.run(until=10 * USEC)   # mid-flight
+        ssd.fail()
+        sim.run_all()
+        assert comps and comps[-1].status == NVME_STATUS_FAILED

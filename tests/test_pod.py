@@ -1,0 +1,164 @@
+"""Tests for CXLPod wiring and the replicated control plane."""
+
+import pytest
+
+from repro.config import OasisConfig
+from repro.core.pod import CXLPod
+from repro.errors import ConfigError
+from repro.net.packet import make_ip
+
+SERVER_IP = make_ip(10, 0, 0, 1)
+
+
+class TestWiring:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            CXLPod(mode="bogus")
+
+    def test_hosts_get_unique_names_and_frontends(self):
+        pod = CXLPod()
+        h0, h1 = pod.add_host(), pod.add_host()
+        assert h0.name != h1.name
+        assert set(pod.frontends) == {h0.name, h1.name}
+
+    def test_every_frontend_wired_to_every_backend_in_oasis_mode(self):
+        pod = CXLPod(mode="oasis")
+        h0 = pod.add_host()
+        nic0 = pod.add_nic(h0)      # backend before second host
+        h1 = pod.add_host()         # host added after the NIC
+        nic1 = pod.add_nic(h1)
+        for frontend in pod.frontends.values():
+            assert set(frontend._links) == {nic0.name, nic1.name}
+
+    def test_local_mode_wires_only_colocated(self):
+        pod = CXLPod(mode="local")
+        h0, h1 = pod.add_host(), pod.add_host()
+        nic0 = pod.add_nic(h0)
+        assert nic0.name in pod.frontends[h0.name]._links
+        assert nic0.name not in pod.frontends[h1.name]._links
+
+    def test_instance_auto_placement_prefers_local(self):
+        pod = CXLPod(mode="oasis")
+        h0, h1 = pod.add_host(), pod.add_host()
+        nic0, nic1 = pod.add_nic(h0), pod.add_nic(h1)
+        inst = pod.add_instance(h1, ip=SERVER_IP)
+        assert pod.allocator.assignments[SERVER_IP] == nic1.name
+
+    def test_instance_explicit_nic_override(self):
+        pod = CXLPod(mode="oasis")
+        h0, h1 = pod.add_host(), pod.add_host()
+        nic0, nic1 = pod.add_nic(h0), pod.add_nic(h1)
+        pod.add_instance(h1, ip=SERVER_IP, nic=nic0)
+        assert pod.allocator.assignments[SERVER_IP] == nic0.name
+
+    def test_remote_instance_without_local_nic(self):
+        pod = CXLPod(mode="oasis")
+        h0 = pod.add_host()
+        h1 = pod.add_host()   # no NIC: the §2.2 "NIC-less host" case
+        nic0 = pod.add_nic(h0)
+        inst = pod.add_instance(h1, ip=SERVER_IP)
+        assert pod.allocator.assignments[SERVER_IP] == nic0.name
+
+    def test_arp_announced_on_registration(self):
+        pod = CXLPod(mode="oasis")
+        h0 = pod.add_host()
+        nic = pod.add_nic(h0)
+        pod.add_instance(h0, ip=SERVER_IP)
+        assert pod.arp.lookup(SERVER_IP) == nic.mac
+
+    def test_external_client_registered(self):
+        pod = CXLPod()
+        pod.add_host()
+        client = pod.add_external_client(ip=make_ip(10, 0, 9, 5))
+        assert pod.arp.lookup(client.ip) == client.mac
+
+    def test_leases_granted_on_placement(self):
+        pod = CXLPod(mode="oasis")
+        h0 = pod.add_host()
+        nic = pod.add_nic(h0)
+        pod.add_instance(h0, ip=SERVER_IP)
+        assert pod.allocator.leases.get(SERVER_IP, nic.name) is not None
+
+    def test_run_advances_time(self):
+        pod = CXLPod()
+        pod.add_host()
+        pod.run(0.5)
+        assert pod.sim.now == pytest.approx(0.5)
+        pod.stop()
+
+
+class TestReplicatedAllocator:
+    def test_enable_raft_elects_allocator_node(self):
+        pod = CXLPod(mode="oasis")
+        h0, h1 = pod.add_host(), pod.add_host()
+        pod.add_nic(h0)
+        pod.add_nic(h1, is_backup=True)
+        pod.enable_raft(replicas=3)
+        pod.run(0.5)
+        # The allocator's colocated node wins (shorter election timeout).
+        assert pod.raft_nodes[0].is_leader
+
+    def test_failover_committed_through_raft(self):
+        pod = CXLPod(mode="oasis")
+        h0, h1 = pod.add_host(), pod.add_host()
+        nic0 = pod.add_nic(h0)
+        nic1 = pod.add_nic(h1, is_backup=True)
+        inst = pod.add_instance(h1, ip=SERVER_IP, nic=nic0)
+        pod.enable_raft(replicas=3)
+        pod.run(0.5)
+        log_before = pod.raft_nodes[0].log.last_index
+        pod.fail_switch_port(nic0)
+        pod.run(0.3)
+        assert pod.allocator.failovers_executed == 1
+        assert pod.raft_nodes[0].log.last_index > log_before
+        # The command replicated to a majority.
+        replicated = sum(
+            1 for node in pod.raft_nodes
+            if node.log.last_index >= pod.raft_nodes[0].log.last_index
+        )
+        assert replicated >= 2
+
+
+class TestTrafficAccounting:
+    def test_oasis_mode_accumulates_cxl_traffic(self):
+        from repro.workloads.echo import EchoClient, EchoServer
+
+        pod = CXLPod(mode="oasis")
+        h0, h1 = pod.add_host(), pod.add_host()
+        nic = pod.add_nic(h0)
+        inst = pod.add_instance(h1, ip=SERVER_IP, nic=nic)
+        EchoServer(pod.sim, inst)
+        client = pod.add_external_client(ip=make_ip(10, 0, 9, 1))
+        ec = EchoClient(pod.sim, client, SERVER_IP, rate_pps=5000)
+        ec.start(0.01)
+        pod.run(0.03)
+        traffic = pod.cxl_traffic_by_category()
+        assert traffic.get("payload", 0) > 0
+        assert traffic.get("message", 0) > 0
+        assert traffic.get("counter", 0) >= 0
+
+
+class TestMultiNicPerHost:
+    def test_two_nics_on_one_host_distinct(self):
+        pod = CXLPod(mode="oasis")
+        h0 = pod.add_host()
+        nic_a = pod.add_nic(h0)
+        nic_b = pod.add_nic(h0)
+        assert nic_a.name != nic_b.name
+        assert nic_a.mac != nic_b.mac
+        assert len(pod.backends) == 2
+
+    def test_instances_spread_across_local_nics(self):
+        from repro.host.instance import ResourceSpec
+
+        pod = CXLPod(mode="oasis")
+        h0 = pod.add_host()
+        nic_a = pod.add_nic(h0)
+        nic_b = pod.add_nic(h0)
+        spec = ResourceSpec(nic_gbps=60.0)   # more than half a NIC each
+        ip1, ip2 = make_ip(10, 0, 0, 1), make_ip(10, 0, 0, 2)
+        pod.add_instance(h0, ip=ip1, spec=spec)
+        pod.add_instance(h0, ip=ip2, spec=spec)
+        assigned = {pod.allocator.assignments[ip1],
+                    pod.allocator.assignments[ip2]}
+        assert assigned == {nic_a.name, nic_b.name}   # least-loaded spread

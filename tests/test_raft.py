@@ -1,0 +1,192 @@
+"""Tests for the Raft consensus substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.raft.log import LogEntry, RaftLog
+from repro.core.raft.node import CANDIDATE, FOLLOWER, LEADER, RaftNode
+from repro.core.raft.rpc import DirectTransport
+from repro.sim.core import MSEC, Simulator
+
+
+def build_cluster(sim, n=3, latency_us=5.0, seed=0):
+    transport = DirectTransport(sim, latency_us=latency_us)
+    ids = [f"n{i}" for i in range(n)]
+    applied = {node_id: [] for node_id in ids}
+    nodes = []
+    for i, node_id in enumerate(ids):
+        node = RaftNode(
+            sim, node_id, ids, transport,
+            apply_cb=lambda idx, cmd, nid=node_id: applied[nid].append((idx, cmd)),
+            rng=np.random.default_rng(seed * 100 + i),
+        )
+        nodes.append(node)
+    for node in nodes:
+        node.start()
+    return transport, nodes, applied
+
+
+def leader_of(nodes):
+    leaders = [n for n in nodes if n.is_leader]
+    return leaders[0] if len(leaders) == 1 else None
+
+
+class TestRaftLog:
+    def test_append_and_terms(self):
+        log = RaftLog()
+        log.append(LogEntry(1, "a"))
+        log.append(LogEntry(2, "b"))
+        assert log.last_index == 2
+        assert log.last_term == 2
+        assert log.term_at(1) == 1
+        assert log.term_at(0) == 0
+
+    def test_matches_consistency_check(self):
+        log = RaftLog()
+        log.append(LogEntry(1, "a"))
+        assert log.matches(0, 0)
+        assert log.matches(1, 1)
+        assert not log.matches(1, 2)
+        assert not log.matches(5, 1)
+
+    def test_merge_appends_new_entries(self):
+        log = RaftLog()
+        log.merge(0, [LogEntry(1, "a"), LogEntry(1, "b")])
+        assert log.last_index == 2
+
+    def test_merge_truncates_conflicts(self):
+        log = RaftLog()
+        log.merge(0, [LogEntry(1, "a"), LogEntry(1, "b"), LogEntry(1, "c")])
+        log.merge(1, [LogEntry(2, "B")])
+        assert log.last_index == 2
+        assert log.entry(2).command == "B"
+        assert log.entry(2).term == 2
+
+    def test_merge_idempotent(self):
+        log = RaftLog()
+        entries = [LogEntry(1, "a"), LogEntry(1, "b")]
+        log.merge(0, entries)
+        log.merge(0, entries)
+        assert log.last_index == 2
+
+    def test_up_to_date(self):
+        log = RaftLog()
+        log.append(LogEntry(2, "a"))
+        assert log.up_to_date(1, 3)        # higher term wins
+        assert log.up_to_date(1, 2)        # same term, same length
+        assert log.up_to_date(2, 2)        # same term, longer
+        assert not log.up_to_date(5, 1)    # lower term loses
+
+
+class TestElection:
+    def test_exactly_one_leader_elected(self, sim):
+        _, nodes, _ = build_cluster(sim)
+        sim.run(until=2.0)
+        assert leader_of(nodes) is not None
+        assert sum(n.is_leader for n in nodes) == 1
+
+    def test_leader_crash_triggers_reelection(self, sim):
+        _, nodes, _ = build_cluster(sim)
+        sim.run(until=2.0)
+        old = leader_of(nodes)
+        old.crash()
+        sim.run(until=4.0)
+        alive = [n for n in nodes if n.alive]
+        new = leader_of(alive)
+        assert new is not None and new is not old
+        assert new.current_term > old.current_term
+
+    def test_crashed_leader_rejoins_as_follower(self, sim):
+        _, nodes, _ = build_cluster(sim)
+        sim.run(until=2.0)
+        old = leader_of(nodes)
+        old.crash()
+        sim.run(until=4.0)
+        old.restart()
+        sim.run(until=6.0)
+        assert sum(n.is_leader for n in nodes) == 1
+        assert old.state == FOLLOWER
+
+    def test_partitioned_node_cannot_win(self, sim):
+        transport, nodes, _ = build_cluster(sim)
+        sim.run(until=2.0)
+        follower = next(n for n in nodes if not n.is_leader)
+        transport.partition(follower.node_id)
+        sim.run(until=6.0)
+        # It keeps electing itself but never gets a majority.
+        assert not follower.is_leader
+        healthy = [n for n in nodes if n is not follower]
+        assert sum(n.is_leader for n in healthy) == 1
+
+
+class TestReplication:
+    def test_committed_command_applies_everywhere(self, sim):
+        _, nodes, applied = build_cluster(sim)
+        sim.run(until=2.0)
+        leader = leader_of(nodes)
+        index = leader.propose({"op": "noop"})
+        assert index == 1
+        sim.run(until=3.0)
+        for node_id, entries in applied.items():
+            assert entries == [(1, {"op": "noop"})]
+
+    def test_propose_on_follower_rejected(self, sim):
+        _, nodes, _ = build_cluster(sim)
+        sim.run(until=2.0)
+        follower = next(n for n in nodes if not n.is_leader)
+        assert follower.propose("x") is None
+
+    def test_many_commands_apply_in_order(self, sim):
+        _, nodes, applied = build_cluster(sim)
+        sim.run(until=2.0)
+        leader = leader_of(nodes)
+        for i in range(20):
+            leader.propose(i)
+        sim.run(until=4.0)
+        for entries in applied.values():
+            assert [cmd for _, cmd in entries] == list(range(20))
+
+    def test_command_survives_leader_change(self, sim):
+        _, nodes, applied = build_cluster(sim)
+        sim.run(until=2.0)
+        leader = leader_of(nodes)
+        leader.propose("before-crash")
+        sim.run(until=2.5)   # replicated + committed
+        leader.crash()
+        sim.run(until=5.0)
+        new_leader = leader_of([n for n in nodes if n.alive])
+        new_leader.propose("after-crash")
+        sim.run(until=7.0)
+        for node in nodes:
+            if node.alive:
+                commands = [node.log.entry(i).command
+                            for i in range(1, node.commit_index + 1)]
+                assert "before-crash" in commands
+                assert "after-crash" in commands
+
+    def test_lagging_follower_catches_up(self, sim):
+        transport, nodes, applied = build_cluster(sim)
+        sim.run(until=2.0)
+        leader = leader_of(nodes)
+        follower = next(n for n in nodes if not n.is_leader)
+        transport.partition(follower.node_id)
+        for i in range(5):
+            leader.propose(i)
+        sim.run(until=3.0)
+        transport.heal(follower.node_id)
+        sim.run(until=6.0)
+        assert follower.commit_index >= 5
+        assert [cmd for _, cmd in applied[follower.node_id]][:5] == list(range(5))
+
+    def test_single_node_cluster_commits_immediately(self, sim):
+        transport = DirectTransport(sim)
+        applied = []
+        node = RaftNode(sim, "solo", ["solo"], transport,
+                        apply_cb=lambda i, c: applied.append(c),
+                        rng=np.random.default_rng(0))
+        node.start()
+        sim.run(until=1.0)
+        assert node.is_leader
+        node.propose("only")
+        sim.run(until=1.1)
+        assert applied == ["only"]

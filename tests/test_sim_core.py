@@ -1,0 +1,320 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.sim.core import (
+    MSEC,
+    USEC,
+    Process,
+    Signal,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(3e-6, fired.append, "c")
+        sim.schedule(1e-6, fired.append, "a")
+        sim.schedule(2e-6, fired.append, "b")
+        sim.run_all()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self, sim):
+        fired = []
+        for name in "abc":
+            sim.schedule(1e-6, fired.append, name)
+        sim.run_all()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(5e-6, lambda: seen.append(sim.now))
+        sim.run_all()
+        assert seen == [pytest.approx(5e-6)]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1e-6, fired.append, "x")
+        event.cancel()
+        sim.run_all()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1e-6, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run_all()
+
+    def test_at_schedules_absolute_time(self, sim):
+        sim.schedule(2e-6, lambda: None)
+        sim.run_all()
+        seen = []
+        sim.at(10e-6, lambda: seen.append(sim.now))
+        sim.run_all()
+        assert seen == [pytest.approx(10e-6)]
+
+    def test_run_until_stops_and_advances_clock(self, sim):
+        fired = []
+        sim.schedule(1e-3, fired.append, "early")
+        sim.schedule(5e-3, fired.append, "late")
+        sim.run(until=2e-3)
+        assert fired == ["early"]
+        assert sim.now == pytest.approx(2e-3)
+        sim.run(until=10e-3)
+        assert fired == ["early", "late"]
+
+    def test_run_until_advances_clock_even_when_idle(self, sim):
+        sim.run(until=1.0)
+        assert sim.now == pytest.approx(1.0)
+
+    def test_max_events_limit(self, sim):
+        fired = []
+        for i in range(10):
+            sim.schedule(i * 1e-6, fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_events_scheduled_during_run_fire(self, sim):
+        fired = []
+
+        def first():
+            sim.schedule(1e-6, fired.append, "second")
+
+        sim.schedule(1e-6, first)
+        sim.run_all()
+        assert fired == ["second"]
+
+    def test_processed_events_counter(self, sim):
+        for _ in range(5):
+            sim.schedule(1e-6, lambda: None)
+        sim.run_all()
+        assert sim.processed_events == 5
+
+    def test_run_all_backstop(self, sim):
+        def rearm():
+            sim.schedule(1e-9, rearm)
+
+        sim.schedule(0.0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run_all(limit=1000)
+
+
+class TestProcesses:
+    def test_process_sleeps(self, sim):
+        log = []
+
+        def proc():
+            log.append(sim.now)
+            yield 5e-6
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run_all()
+        assert log == [pytest.approx(0.0), pytest.approx(5e-6)]
+
+    def test_process_result(self, sim):
+        def proc():
+            yield 1e-6
+            return 42
+
+        p = sim.spawn(proc())
+        sim.run_all()
+        assert p.done
+        assert p.result == 42
+
+    def test_process_joins_another(self, sim):
+        def child():
+            yield 3e-6
+            return "done"
+
+        results = []
+
+        def parent():
+            value = yield sim.spawn(child())
+            results.append((sim.now, value))
+
+        sim.spawn(parent())
+        sim.run_all()
+        assert results == [(pytest.approx(3e-6), "done")]
+
+    def test_join_already_finished_process(self, sim):
+        def child():
+            return "early"
+            yield  # pragma: no cover
+
+        p = sim.spawn(child())
+        sim.run(until=1e-6)
+        assert p.done
+
+        got = []
+
+        def parent():
+            value = yield p
+            got.append(value)
+
+        sim.spawn(parent())
+        sim.run_all()
+        assert got == ["early"]
+
+    def test_yield_none_reschedules_same_time(self, sim):
+        times = []
+
+        def proc():
+            times.append(sim.now)
+            yield None
+            times.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run_all()
+        assert times[0] == times[1]
+
+    def test_negative_yield_raises(self, sim):
+        def proc():
+            yield -1.0
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run_all()
+
+    def test_unsupported_yield_raises(self, sim):
+        def proc():
+            yield "nope"
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run_all()
+
+    def test_interrupt_stops_process(self, sim):
+        log = []
+
+        def proc():
+            yield 1e-3
+            log.append("should not happen")
+
+        p = sim.spawn(proc())
+        sim.run(until=1e-6)
+        p.interrupt()
+        sim.run_all()
+        assert log == []
+        assert p.done
+
+
+class TestSignals:
+    def test_signal_wakes_waiter_with_value(self, sim):
+        signal = Signal(sim)
+        got = []
+
+        def waiter():
+            value = yield signal
+            got.append((sim.now, value))
+
+        sim.spawn(waiter())
+        sim.schedule(2e-6, signal.set, "hello")
+        sim.run_all()
+        assert got == [(pytest.approx(2e-6), "hello")]
+
+    def test_set_signal_does_not_block(self, sim):
+        signal = Signal(sim)
+        signal.set("v")
+        got = []
+
+        def waiter():
+            value = yield signal
+            got.append(value)
+
+        sim.spawn(waiter())
+        sim.run_all()
+        assert got == ["v"]
+
+    def test_auto_reset_latches_one_wakeup(self, sim):
+        """Doorbell semantics: a set with no waiter wakes the next waiter."""
+        signal = Signal(sim, auto_reset=True)
+        signal.set()
+        wakes = []
+
+        def waiter():
+            yield signal
+            wakes.append(sim.now)
+            yield signal  # no second set: blocks forever
+            wakes.append("never")
+
+        sim.spawn(waiter())
+        sim.run_all()
+        assert wakes == [pytest.approx(0.0)]
+
+    def test_auto_reset_wakes_each_set(self, sim):
+        signal = Signal(sim, auto_reset=True)
+        wakes = []
+
+        def waiter():
+            while True:
+                yield signal
+                wakes.append(sim.now)
+
+        sim.spawn(waiter())
+        sim.schedule(1e-6, signal.set)
+        sim.schedule(2e-6, signal.set)
+        sim.run_all()
+        assert len(wakes) == 2
+
+    def test_multiple_waiters_all_wake(self, sim):
+        signal = Signal(sim)
+        woken = []
+
+        def waiter(name):
+            yield signal
+            woken.append(name)
+
+        sim.spawn(waiter("a"))
+        sim.spawn(waiter("b"))
+        sim.schedule(1e-6, signal.set)
+        sim.run_all()
+        assert sorted(woken) == ["a", "b"]
+
+
+class TestPeriodicTask:
+    def test_fires_at_interval(self, sim):
+        times = []
+        task = sim.every(1 * MSEC, lambda: times.append(sim.now))
+        sim.run(until=5.5 * MSEC)
+        task.cancel()
+        assert len(times) == 5
+        assert times[0] == pytest.approx(1 * MSEC)
+
+    def test_cancel_stops_firing(self, sim):
+        times = []
+        task = sim.every(1 * MSEC, lambda: times.append(sim.now))
+        sim.run(until=2.5 * MSEC)
+        task.cancel()
+        sim.run(until=10 * MSEC)
+        assert len(times) == 2
+
+    def test_start_after_override(self, sim):
+        times = []
+        sim.every(1 * MSEC, lambda: times.append(sim.now), start_after=0.0)
+        sim.run(until=2.5 * MSEC)
+        assert times[0] == pytest.approx(0.0)
+
+
+class TestPeriodicJitter:
+    def test_jitter_spreads_fire_times(self):
+        import numpy as np
+        from repro.sim.core import MSEC, Simulator
+
+        sim = Simulator()
+        times = []
+        sim.every(1 * MSEC, lambda: times.append(sim.now), jitter=0.5 * MSEC,
+                  rng=np.random.default_rng(0))
+        sim.run(until=20 * MSEC)
+        gaps = np.diff(times)
+        assert gaps.min() >= 1 * MSEC - 1e-9      # jitter only adds delay
+        assert gaps.max() > 1.05 * MSEC           # and it does add some

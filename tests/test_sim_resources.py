@@ -1,0 +1,97 @@
+"""Tests for SimQueue and the RNG factory."""
+
+import numpy as np
+import pytest
+
+from repro.sim.core import Simulator
+from repro.sim.resources import QueueFull, SimQueue
+from repro.sim.rng import RngFactory, derive_seed
+
+
+class TestSimQueue:
+    def test_fifo_order(self, sim):
+        q = SimQueue(sim)
+        q.put_nowait(1)
+        q.put_nowait(2)
+        assert q.get_nowait() == 1
+        assert q.get_nowait() == 2
+
+    def test_get_blocks_until_put(self, sim):
+        q = SimQueue(sim)
+        got = []
+
+        def consumer():
+            item = yield from q.get()
+            got.append((sim.now, item))
+
+        sim.spawn(consumer())
+        sim.schedule(5e-6, q.put_nowait, "x")
+        sim.run_all()
+        assert got == [(pytest.approx(5e-6), "x")]
+
+    def test_bounded_queue_raises_when_full(self, sim):
+        q = SimQueue(sim, capacity=2)
+        q.put_nowait(1)
+        q.put_nowait(2)
+        with pytest.raises(QueueFull):
+            q.put_nowait(3)
+        assert q.dropped == 1
+
+    def test_try_put_counts_drops(self, sim):
+        q = SimQueue(sim, capacity=1)
+        assert q.try_put(1) is True
+        assert q.try_put(2) is False
+        assert q.dropped == 1
+        assert q.total_put == 1
+
+    def test_drain_empties_queue(self, sim):
+        q = SimQueue(sim)
+        for i in range(4):
+            q.put_nowait(i)
+        assert q.drain() == [0, 1, 2, 3]
+        assert q.empty
+
+    def test_get_nowait_empty_raises(self, sim):
+        q = SimQueue(sim)
+        with pytest.raises(IndexError):
+            q.get_nowait()
+
+    def test_len_and_full(self, sim):
+        q = SimQueue(sim, capacity=2)
+        assert not q.full
+        q.put_nowait(1)
+        q.put_nowait(2)
+        assert len(q) == 2
+        assert q.full
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_derive_seed_varies_by_name_and_root(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_factory_caches_streams(self):
+        factory = RngFactory(7)
+        g1 = factory.get("x")
+        g2 = factory.get("x")
+        assert g1 is g2
+
+    def test_factory_reproducible_across_instances(self):
+        a = RngFactory(7).get("x").random(5)
+        b = RngFactory(7).get("x").random(5)
+        assert np.allclose(a, b)
+
+    def test_fresh_restarts_stream(self):
+        factory = RngFactory(7)
+        first = factory.get("x").random(3)
+        fresh = factory.fresh("x").random(3)
+        assert np.allclose(first, fresh)
+
+    def test_streams_independent(self):
+        factory = RngFactory(7)
+        a = factory.get("a").random(5)
+        b = factory.get("b").random(5)
+        assert not np.allclose(a, b)

@@ -1,0 +1,261 @@
+"""Tests for the storage engine (§3.4): block I/O over pooled SSDs."""
+
+import pytest
+
+from repro.core.pod import CXLPod
+from repro.core.storage.messages import (
+    SOP_COMPLETION,
+    SOP_READ,
+    SOP_WRITE,
+    STORAGE_MESSAGE_SIZE,
+    StorageMessage,
+)
+from repro.errors import ChannelError
+from repro.net.packet import make_ip
+
+IP = make_ip(10, 0, 0, 1)
+BS = 4096
+
+
+class TestStorageMessage:
+    def test_roundtrip(self):
+        message = StorageMessage(SOP_READ, cid=7, slba=100, nlb=8,
+                                 buffer_addr=0xABCDE, instance_ip=IP)
+        out = StorageMessage.unpack(message.pack())
+        assert out == message
+
+    def test_exactly_64_bytes(self):
+        assert STORAGE_MESSAGE_SIZE == 64
+        assert len(StorageMessage(SOP_WRITE, 1, 2, 3, 4, 5).pack()) == 64
+
+    def test_opcodes_leave_epoch_bit_clear(self):
+        for op in (SOP_READ, SOP_WRITE, SOP_COMPLETION):
+            assert op < 0x80
+
+    def test_invalid_opcode_rejected(self):
+        with pytest.raises(ChannelError):
+            StorageMessage(0x7E, 1, 2, 3, 4, 5).pack()
+
+    def test_status_roundtrip(self):
+        message = StorageMessage(SOP_COMPLETION, 1, 0, 0, 0, 0, status=6)
+        assert StorageMessage.unpack(message.pack()).status == 6
+
+
+def build_storage_pod(remote=True, mode="oasis"):
+    pod = CXLPod(mode=mode)
+    h0 = pod.add_host()
+    h1 = pod.add_host() if remote else h0
+    pod.add_nic(h0)
+    ssd = pod.add_ssd(h0)
+    inst = pod.add_instance(h1 if remote else h0, ip=IP)
+    device = pod.add_block_device(inst, ssd)
+    return pod, ssd, device
+
+
+class TestBlockIO:
+    def test_write_read_roundtrip_remote(self):
+        pod, ssd, device = build_storage_pod(remote=True)
+        data = bytes(range(256)) * 16
+        results = {}
+        device.write(10, data, lambda s: results.setdefault("w", s))
+        pod.run(0.01)
+        device.read(10, 1, lambda s, d: results.setdefault("r", (s, d)))
+        pod.run(0.01)
+        assert results["w"] == 0
+        assert results["r"] == (0, data)
+
+    def test_unwritten_reads_zero(self):
+        pod, ssd, device = build_storage_pod()
+        results = {}
+        device.read(500, 1, lambda s, d: results.setdefault("r", (s, d)))
+        pod.run(0.01)
+        assert results["r"] == (0, bytes(BS))
+
+    def test_multi_block_write(self):
+        pod, ssd, device = build_storage_pod()
+        data = bytes([9]) * (4 * BS)
+        results = {}
+        device.write(0, data, lambda s: results.setdefault("w", s))
+        pod.run(0.01)
+        device.read(2, 2, lambda s, d: results.setdefault("r", (s, d)))
+        pod.run(0.01)
+        assert results["r"] == (0, bytes([9]) * (2 * BS))
+
+    def test_unaligned_write_rejected(self):
+        pod, ssd, device = build_storage_pod()
+        from repro.errors import AllocationError
+
+        with pytest.raises(AllocationError):
+            device.write(0, b"x" * 100, lambda s: None)
+
+    def test_concurrent_requests_all_complete(self):
+        pod, ssd, device = build_storage_pod()
+        statuses = []
+        for i in range(32):
+            device.write(i, bytes([i]) * BS, statuses.append)
+        pod.run(0.05)
+        assert statuses == [0] * 32
+
+    def test_buffers_released_after_completion(self):
+        pod, ssd, device = build_storage_pod()
+        frontend = pod.storage_frontends[device.instance.host.name]
+        for i in range(8):
+            device.write(i, b"z" * BS, lambda s: None)
+        pod.run(0.05)
+        assert frontend.inflight == 0
+        assert frontend._space.allocated_bytes == 0
+
+    def test_local_mode_storage(self):
+        pod, ssd, device = build_storage_pod(remote=False, mode="local")
+        results = {}
+        device.write(1, b"q" * BS, lambda s: results.setdefault("w", s))
+        pod.run(0.01)
+        device.read(1, 1, lambda s, d: results.setdefault("r", (s, d[:4])))
+        pod.run(0.01)
+        assert results["w"] == 0
+        assert results["r"] == (0, b"qqqq")
+
+    def test_read_latency_dominated_by_media(self):
+        pod, ssd, device = build_storage_pod()
+        done = {}
+        start = pod.sim.now
+        device.read(0, 1, lambda s, d: done.setdefault("t", pod.sim.now))
+        pod.run(0.01)
+        latency_us = (done["t"] - start) / 1e-6
+        # Media is 90 us; the Oasis datapath adds single-digit us.
+        assert 90 <= latency_us <= 120
+
+
+class TestStorageFailure:
+    def test_failed_drive_surfaces_io_error(self):
+        pod, ssd, device = build_storage_pod()
+        ssd.fail()
+        results = {}
+        device.write(0, b"x" * BS, lambda s: results.setdefault("w", s))
+        pod.run(0.01)
+        assert results["w"] != 0
+
+    def test_inflight_requests_error_on_failure(self):
+        pod, ssd, device = build_storage_pod()
+        statuses = []
+        for i in range(4):
+            device.read(i, 1, lambda s, d: statuses.append(s))
+        pod.run(0.00002)   # requests in flight
+        ssd.fail()
+        pod.run(0.05)
+        assert len(statuses) == 4
+        assert any(s != 0 for s in statuses)
+
+    def test_errors_still_release_buffers(self):
+        pod, ssd, device = build_storage_pod()
+        ssd.fail()
+        frontend = pod.storage_frontends[device.instance.host.name]
+        for i in range(4):
+            device.write(i, b"x" * BS, lambda s: None)
+        pod.run(0.05)
+        assert frontend.inflight == 0
+        assert frontend._space.allocated_bytes == 0
+
+
+class TestStaleBufferRegression:
+    def test_read_after_write_buffer_reuse_is_fresh(self):
+        """Regression: a recycled *write* buffer left clean stale lines in
+        the frontend's cache; a later read reusing that region must not
+        return the old write's bytes (the §3.2 failure class)."""
+        pod, ssd, device = build_storage_pod(remote=True)
+        first = b"A" * BS
+        second = b"B" * BS
+        done = {}
+        device.write(0, first, lambda s: done.setdefault("w0", s))
+        pod.run(0.001)
+        device.write(1, second, lambda s: done.setdefault("w1", s))
+        pod.run(0.001)
+        # Reads reuse the freed write-buffer regions (first-fit allocator).
+        results = []
+        device.read(1, 1, lambda s, d: results.append(d))
+        pod.run(0.001)
+        device.read(0, 1, lambda s, d: results.append(d))
+        pod.run(0.001)
+        assert results[0] == second
+        assert results[1] == first
+
+
+class TestStoragePlacement:
+    def test_allocator_prefers_local_ssd(self):
+        pod = CXLPod(mode="oasis")
+        h0, h1 = pod.add_host(), pod.add_host()
+        pod.add_nic(h0)
+        ssd0 = pod.add_ssd(h0)
+        ssd1 = pod.add_ssd(h1)
+        inst = pod.add_instance(h1, ip=IP)
+        device = pod.add_block_device(inst)     # allocator places
+        assert device.backend_name == ssd1.name
+        assert pod.allocator.storage_assignments[IP] == ssd1.name
+
+    def test_allocator_falls_back_to_remote(self):
+        pod = CXLPod(mode="oasis")
+        h0, h1 = pod.add_host(), pod.add_host()
+        pod.add_nic(h0)
+        ssd0 = pod.add_ssd(h0)                  # only h0 has a drive
+        inst = pod.add_instance(h1, ip=IP)
+        device = pod.add_block_device(inst)
+        assert device.backend_name == ssd0.name
+        # A storage lease was granted.
+        assert pod.allocator.leases.get(IP, ssd0.name) is not None
+
+    def test_storage_telemetry_flows_to_allocator(self):
+        pod = CXLPod(mode="oasis")
+        h0 = pod.add_host()
+        pod.add_nic(h0)
+        ssd = pod.add_ssd(h0)
+        inst = pod.add_instance(h0, ip=IP)
+        device = pod.add_block_device(inst)
+        for i in range(16):
+            device.write(i, b"x" * BS, lambda s: None)
+        pod.run(0.35)   # a few 100 ms telemetry ticks
+        record = pod.allocator.telemetry_store.latest(ssd.name)
+        assert record is not None
+        assert pod.allocator.storage_devices[ssd.name].measured_load >= 0
+
+    def test_release_storage_returns_capacity(self):
+        pod = CXLPod(mode="oasis")
+        h0 = pod.add_host()
+        pod.add_nic(h0)
+        ssd = pod.add_ssd(h0)
+        inst = pod.add_instance(h0, ip=IP)
+        pod.add_block_device(inst)
+        before = pod.allocator.storage_devices[ssd.name].allocated
+        pod.allocator.release_storage(IP, inst.spec.ssd_tb)
+        after = pod.allocator.storage_devices[ssd.name].allocated
+        assert after < before
+
+
+class TestBlockWorkload:
+    def test_workload_measures_latency(self):
+        from repro.workloads.blockio import BlockWorkload
+        import numpy as np
+
+        pod, ssd, device = build_storage_pod(remote=True)
+        workload = BlockWorkload(pod.sim, device, rate_iops=2000,
+                                 rng=np.random.default_rng(1))
+        workload.start(0.05)
+        pod.run(0.1)
+        stats = workload.stats.summary()
+        assert stats["completed"] > 50
+        assert stats["errors"] == 0
+        assert stats["read"]["p50"] > 90          # media floor
+        assert stats["write"]["p50"] < stats["read"]["p50"]
+        assert workload.inflight == 0
+
+    def test_queue_depth_cap(self):
+        from repro.workloads.blockio import BlockWorkload
+        import numpy as np
+
+        pod, ssd, device = build_storage_pod(remote=True)
+        workload = BlockWorkload(pod.sim, device, rate_iops=500_000,
+                                 queue_depth=8, rng=np.random.default_rng(1))
+        workload.start(0.01)
+        pod.run(0.05)
+        # Open-loop overload: many issue ticks find the queue full.
+        assert workload.stats.submitted < 500_000 * 0.01
+        assert workload.stats.completed == workload.stats.submitted

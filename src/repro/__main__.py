@@ -2,6 +2,12 @@
 
 With no arguments, lists the available experiments; with names (e.g.
 ``fig6 table3`` or ``all``), runs them and prints the paper-style tables.
+Two observability subcommands ride along:
+
+* ``report`` -- run a short echo workload and print registry-backed metric
+  summaries (traffic by category/host, channel/cache ops, scraped bandwidth);
+* ``trace [out.json]`` -- run the Fig 13 failover with the sim-time tracer
+  and export Chrome-trace JSON.
 """
 
 from __future__ import annotations
@@ -20,10 +26,25 @@ def main(argv=None) -> int:
     }
     if not argv or argv[0] in ("-h", "--help"):
         print(f"repro {__version__} -- Oasis (SOSP '25) reproduction")
-        print("usage: python -m repro <experiment ...|all>\n")
+        print("usage: python -m repro <experiment ...|all>")
+        print("       python -m repro report")
+        print("       python -m repro trace [out.json]\n")
         print("experiments:")
         for name, (title, _) in by_name.items():
             print(f"  {name:<8} {title}")
+        print("\nobservability:")
+        print("  report   registry-backed metrics summary of an echo run")
+        print("  trace    failover run exported as Chrome-trace JSON")
+        return 0
+    if argv[0] == "report":
+        from .obs.cli import main_report
+
+        main_report()
+        return 0
+    if argv[0] == "trace":
+        from .obs.cli import main_trace
+
+        main_trace(argv[1] if len(argv) > 1 else "oasis-failover-trace.json")
         return 0
     if argv == ["all"]:
         runner.main()

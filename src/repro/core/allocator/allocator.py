@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional
 
 from ...config import OasisConfig
 from ...errors import AllocationError
+from ...obs.trace import NULL_TRACER
 from ...sim.core import MSEC, Simulator, USEC
 from .leases import LeaseTable
 from .policy import DeviceState, PlacementPolicy
@@ -30,6 +31,8 @@ __all__ = ["PodAllocator", "AllocatorClient"]
 
 class PodAllocator:
     """The control plane service."""
+
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -96,6 +99,9 @@ class PodAllocator:
         if backup is not None:
             self.backup_assignments[ip] = backup.name
         self.leases.grant(ip, device.name, self.sim.now)
+        self.tracer.instant("alloc.place", category="allocator",
+                            track="allocator", ip=ip, nic=device.name,
+                            backup=backup.name if backup else None)
         self._commit({"op": "place", "ip": ip, "nic": device.name,
                       "backup": backup.name if backup else None})
         return device.name, backup.name if backup else None
@@ -166,6 +172,11 @@ class PodAllocator:
         if device is None or device.failed:
             return
         device.failed = True
+        # Close the backend's report span (no-op for the silent-host path,
+        # which never opened one) and open the allocator-processing span.
+        self.tracer.end("failover.report", key=nic_name)
+        self.tracer.begin("failover.process", key=nic_name,
+                          category="failover", track="failover", nic=nic_name)
         processing = self.config.failover.allocator_processing_ms * MSEC
         self.sim.schedule(processing, self._commit_failover, nic_name)
 
@@ -194,6 +205,15 @@ class PodAllocator:
         if backup is None:
             raise AllocationError(f"no backup available for failed {nic_name}")
         self.failovers_executed += 1
+        self.tracer.end("failover.process", key=nic_name, backup=backup.name)
+        self.tracer.begin("failover.reroute", key=nic_name,
+                          category="failover", track="failover",
+                          nic=nic_name, backup=backup.name)
+        # The reroute phase ends once the slower of the two parallel legs
+        # (frontend notification / MAC borrowing) has landed.
+        reroute_ms = max(cfg.notify_frontend_ms, cfg.mac_borrow_ms)
+        self.sim.schedule(reroute_ms * MSEC, self.tracer.end,
+                          "failover.reroute", nic_name)
 
         # Revoke all leases on the failed device; re-grant on the backup.
         moved = 0
@@ -240,6 +260,8 @@ class PodAllocator:
         self.devices[old_nic].allocated -= demand_gbps
         self.devices[new_nic].allocated += demand_gbps
         self.migrations_executed += 1
+        self.tracer.instant("alloc.migrate", category="allocator",
+                            track="allocator", ip=ip, old=old_nic, new=new_nic)
         self._commit({"op": "migrate", "ip": ip, "nic": new_nic})
 
     def rebalance_once(self, demand_gbps: float = 0.0) -> Optional[tuple]:

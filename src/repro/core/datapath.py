@@ -30,6 +30,7 @@ from ..channel.ring import RingLayout
 from ..errors import ChannelFullError
 from ..mem.cxl import CXLMemoryPool
 from ..mem.layout import Region, RegionAllocator
+from ..obs.trace import NULL_TRACER
 from ..sim.core import Signal, Simulator, USEC
 
 __all__ = ["SharedRegions", "DoorbellChannel", "LocalChannel", "ChannelPair"]
@@ -75,6 +76,8 @@ class DoorbellChannel:
     than the bare 0.6 us one-way figure: the driver cores also do other
     work).
     """
+
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -123,6 +126,9 @@ class DoorbellChannel:
         payloads, cost = self.receiver.poll_batch(ready) if ready else ([], 0.0)
         for _ in payloads:
             self._visible_at.popleft()
+        if payloads and self.tracer.enabled:
+            self.tracer.instant("chan.recv", category="channel",
+                                track=self.name, count=len(payloads))
         if not payloads:
             cost += self.receiver.force_publish_counter()
         if self._visible_at:
@@ -156,6 +162,9 @@ class DoorbellChannel:
     def _mark_visible(self, count: int) -> None:
         if count <= 0:
             return
+        if self.tracer.enabled:
+            self.tracer.instant("chan.send", category="channel",
+                                track=self.name, count=count)
         visible_at = self.sim.now + self.hop_s
         for _ in range(count):
             self._visible_at.append(visible_at)
@@ -179,6 +188,8 @@ class DoorbellChannel:
 class LocalChannel:
     """Baseline signalling path: a lock-free ring in local DDR (no CXL)."""
 
+    tracer = NULL_TRACER
+
     def __init__(self, sim: Simulator, name: str, hop_us: float = 0.25):
         self.sim = sim
         self.name = name
@@ -200,6 +211,9 @@ class LocalChannel:
     def send(self, payload: bytes) -> float:
         self._queue.append(payload)
         self.sent += 1
+        if self.tracer.enabled:
+            self.tracer.instant("chan.send", category="channel",
+                                track=self.name, count=1)
         self._notify()
         return 25.0
 
@@ -207,6 +221,9 @@ class LocalChannel:
         self._queue.extend(payloads)
         self.sent += len(payloads)
         if payloads:
+            if self.tracer.enabled:
+                self.tracer.instant("chan.send", category="channel",
+                                    track=self.name, count=len(payloads))
             self._notify()
         return 25.0 * len(payloads)
 

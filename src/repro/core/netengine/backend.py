@@ -24,6 +24,7 @@ from ...errors import ChannelFullError, DeviceError
 from ...host.host import Host, MemDomain
 from ...mem.layout import FixedPool, Region
 from ...net.packet import BROADCAST_MAC, Frame
+from ...obs.trace import NULL_TRACER
 from ...pcie.nic import SimNIC
 from ...pcie.queues import Completion, RxDescriptor, TxDescriptor
 from ...sim.core import MSEC, Simulator
@@ -48,6 +49,8 @@ class NetBackend(Driver):
     TX_ITEM_NS = 100.0
     RX_ITEM_NS = 120.0
     COMP_ITEM_NS = 60.0
+
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -76,6 +79,7 @@ class NetBackend(Driver):
         self._monitor_task = None
         self._telemetry_task = None
         self._failure_reported = False
+        self._link_down_at: Optional[float] = None
         self._last_tx_bytes = 0
         self._last_rx_bytes = 0
         # Counters.
@@ -86,6 +90,7 @@ class NetBackend(Driver):
 
         nic.on_tx_complete = self._on_nic_tx_comp
         nic.on_rx = self._on_nic_rx
+        nic.on_link_change(self._on_link_change)
         self._fill_rx_ring()
 
     # -- wiring --------------------------------------------------------------------
@@ -314,6 +319,14 @@ class NetBackend(Driver):
         if self._telemetry_task is not None:
             self._telemetry_task.cancel()
 
+    def _on_link_change(self, up: bool) -> None:
+        # Timestamp the physical failure so the detection span covers the
+        # whole dead time until the periodic monitor notices (§3.3.3).
+        if not up and self._link_down_at is None:
+            self._link_down_at = self.sim.now
+        elif up:
+            self._link_down_at = None
+
     def _check_link(self) -> None:
         if self.nic.link_up:
             self._failure_reported = False
@@ -321,6 +334,13 @@ class NetBackend(Driver):
         if self._failure_reported or self.control is None:
             return
         self._failure_reported = True
+        down_at = self._link_down_at if self._link_down_at is not None else self.sim.now
+        self.tracer.span("failover.detect", down_at, self.sim.now - down_at,
+                         category="failover", track="failover",
+                         nic=self.nic.name)
+        self.tracer.begin("failover.report", key=self.nic.name,
+                          category="failover", track="failover",
+                          nic=self.nic.name)
         self.control.report_failure(self)
 
     def _send_telemetry(self) -> None:

@@ -41,6 +41,7 @@ from ..mem.cxl import CXLMemoryPool
 from ..net.endpoint import ExternalEndpoint
 from ..net.packet import make_ip, make_mac
 from ..net.switch import LearningSwitch
+from ..obs import MetricsRegistry, TelemetryScraper, Tracer, bindings
 from ..pcie.nic import SimNIC
 from ..sim.core import Simulator
 from ..sim.rng import RngFactory
@@ -88,6 +89,18 @@ class CXLPod:
         self.storage_frontends: Dict[str, object] = {}
         self._next_client_index = 200
 
+        # Observability: every legacy counter object registers into the
+        # pod-wide metrics registry via collectors (observation-only), the
+        # tracer starts disabled (cheap boolean check on hot paths) and the
+        # scraper samples the registry once started.
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(self.sim, enabled=False)
+        self.scraper = TelemetryScraper(self.sim, self.metrics)
+        self.allocator.tracer = self.tracer
+        bindings.bind_pool(self.metrics, self.pool)
+        bindings.bind_switch(self.metrics, self.switch)
+        bindings.bind_allocator(self.metrics, self.allocator)
+
     # -- topology ------------------------------------------------------------------
 
     def add_host(self, name: Optional[str] = None) -> Host:
@@ -111,6 +124,11 @@ class CXLPod:
         self.frontends[host.name] = frontend
         self.allocator.register_frontend(host.name, frontend)
         frontend.start()
+        bindings.bind_cache(self.metrics, host.shared.cache, host.name,
+                            domain="cxl")
+        bindings.bind_cache(self.metrics, host.local.cache, host.name,
+                            domain="ddr")
+        bindings.bind_driver(self.metrics, frontend)
 
         # Connect the new frontend to every existing backend (oasis mode).
         if self.mode == "oasis":
@@ -142,6 +160,10 @@ class CXLPod:
         backend = NetBackend(self.sim, host, nic, rx_domain, rx_region,
                              self.config, tx_buffers_local=(self.mode == "local"))
         backend.control = AllocatorClient(self.sim, self.allocator)
+        nic.tracer = self.tracer
+        backend.tracer = self.tracer
+        bindings.bind_nic(self.metrics, nic)
+        bindings.bind_driver(self.metrics, backend)
         self.backends[nic.name] = backend
         self.allocator.register_backend(backend, self.config.nic.bandwidth_gbps,
                                         is_backup=is_backup)
@@ -169,6 +191,9 @@ class CXLPod:
             )
         else:
             pair = ChannelPair.local(self.sim, name)
+        pair.a_to_b.tracer = self.tracer
+        pair.b_to_a.tracer = self.tracer
+        bindings.bind_channel_pair(self.metrics, pair)
         frontend.connect_backend(BackendLink(
             name=backend.nic.name, tx=pair.a_to_b, rx=pair.b_to_a,
             rx_domain=backend.rx_domain, nic_mac=backend.nic.mac,
@@ -235,6 +260,9 @@ class CXLPod:
         self.storage_backends[ssd.name] = backend
         backend.control = AllocatorClient(self.sim, self.allocator,
                                           storage=True)
+        ssd.tracer = self.tracer
+        bindings.bind_ssd(self.metrics, ssd)
+        bindings.bind_driver(self.metrics, backend)
         self.allocator.register_storage_backend(
             backend, self.config.ssd.capacity_bytes / 1e12
         )
@@ -256,6 +284,7 @@ class CXLPod:
                 region = Region(12 << 30, 256 << 20, f"sbuf-{host.name}-local")
             frontend = StorageFrontend(self.sim, host, domain, region, self.config)
             frontend.start()
+            bindings.bind_driver(self.metrics, frontend)
             self.storage_frontends[host.name] = frontend
         return frontend
 
@@ -285,6 +314,9 @@ class CXLPod:
                 )
             else:
                 pair = ChannelPair.local(self.sim, f"st-{link_key}")
+            pair.a_to_b.tracer = self.tracer
+            pair.b_to_a.tracer = self.tracer
+            bindings.bind_channel_pair(self.metrics, pair)
             frontend.connect_backend(ssd.name, pair.a_to_b, pair.b_to_a)
             backend.connect_frontend(instance.host.name, pair.b_to_a, pair.a_to_b)
         return frontend.make_device(instance, ssd.name, self.config.ssd.block_size)
@@ -319,6 +351,8 @@ class CXLPod:
                 election_timeout_ms=timeouts,
                 rng=self.rng.get(f"raft-{node_id}"),
             )
+            node.tracer = self.tracer
+            bindings.bind_raft_node(self.metrics, node)
             self.raft_nodes.append(node)
         self.allocator.attach_raft(self.raft_nodes[0])
         for node in self.raft_nodes:
@@ -338,6 +372,21 @@ class CXLPod:
 
     def fail_nic(self, nic: SimNIC) -> None:
         nic.fail()
+
+    # -- observability -----------------------------------------------------------------------
+
+    def enable_tracing(self, max_events: int = 2_000_000,
+                       categories=None) -> Tracer:
+        """Turn on the pod tracer (optionally limited to some categories)."""
+        self.tracer.enabled = True
+        self.tracer.max_events = max_events
+        self.tracer.categories = (set(categories) if categories is not None
+                                  else None)
+        return self.tracer
+
+    def start_telemetry(self, period_s: Optional[float] = None) -> TelemetryScraper:
+        """Start sampling the metrics registry at ``period_s`` of sim time."""
+        return self.scraper.start(period_s)
 
     # -- running -----------------------------------------------------------------------------
 

@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
+from ...obs.trace import NULL_TRACER
 from ...sim.core import MSEC, Simulator
 from .log import LogEntry, RaftLog
 
@@ -26,6 +27,8 @@ LEADER = "leader"
 
 class RaftNode:
     """One Raft peer."""
+
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -121,6 +124,8 @@ class RaftNode:
     def _start_election(self) -> None:
         self.state = CANDIDATE
         self.current_term += 1
+        self.tracer.instant("raft.election", category="raft", track="raft",
+                            node=self.node_id, term=self.current_term)
         self.voted_for = self.node_id
         self._votes = {self.node_id}
         self.leader_id = None
@@ -144,6 +149,8 @@ class RaftNode:
     def _become_leader(self) -> None:
         self.state = LEADER
         self.leader_id = self.node_id
+        self.tracer.instant("raft.leader", category="raft", track="raft",
+                            node=self.node_id, term=self.current_term)
         for peer in self.peers:
             self.next_index[peer] = self.log.last_index + 1
             self.match_index[peer] = 0

@@ -25,12 +25,18 @@ def run_echo(mode: str, packet_size: int, rate_pps: float,
     remote = mode == "oasis"
     pod, inst, client_ep, _ = build_echo_pod(mode, remote=remote)
     client = EchoClient(pod.sim, client_ep, SERVER_IP,
-                        packet_size=packet_size, rate_pps=rate_pps)
+                        packet_size=packet_size, rate_pps=rate_pps,
+                        metrics=pod.metrics)
     client.start(duration_s)
     pod.run(duration_s + 0.02)
     pod.stop()
-    summary = summarize_latencies(client.stats.latencies_us)
-    summary["lost"] = client.stats.lost
+    # Percentiles come from the registry's echo_rtt_us histogram (keep_raw
+    # preserves every observation, so this is numerically identical to the
+    # legacy client.stats.latencies_us path it replaced).
+    summary = summarize_latencies(client.rtt_hist.observations)
+    summary["lost"] = (client.stats.sent
+                       - int(pod.metrics.value("echo_rtt_us_count",
+                                               client=client.name)))
     return summary
 
 

@@ -48,7 +48,12 @@ def _measure_busy(packet_size: int, rate_pps: float, duration_s: float) -> dict:
     client.start(duration_s)
     pod.run(duration_s + 0.02)
     pod.stop()
-    traffic = pod.cxl_traffic_by_category()
+    # Pod-wide CXL bytes per category, read from the metrics registry (the
+    # cxl_link_bytes collector observes the same LinkStats the legacy
+    # pod.cxl_traffic_by_category() merges, so the numbers are identical).
+    snap = pod.metrics.snapshot(time=pod.sim.now)
+    traffic = {cat: nbytes for (cat,), nbytes
+               in snap.aggregate("cxl_link_bytes", by=("category",)).items()}
     # Each echoed packet = one RX + one TX NIC operation.
     ops = 2.0 * client.stats.received
     payload_per_op = traffic.get("payload", 0) / max(ops, 1)

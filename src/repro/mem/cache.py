@@ -90,8 +90,10 @@ class HostCache:
         while self.capacity_lines is not None and len(self._lines) > self.capacity_lines:
             index, line = self._lines.popitem(last=False)
             if line.dirty:
-                self.pool.write_line(index, bytes(line.data))
-                self.pool._account(self.host, "write", "eviction", CACHE_LINE)
+                # A capacity eviction of a dirty line is a posted write just
+                # like CLWB/CLFLUSHOPT: it must go through the writeback hook
+                # so timing harnesses model its flight time too.
+                self._write_back(index, line, "eviction")
             self.stats.evictions += 1
 
     def _fill(self, index: int, category: str) -> _Line:

@@ -29,12 +29,21 @@ def line_index(addr: int) -> int:
 
 
 def line_base(addr: int) -> int:
-    """Base byte address of the cache line containing ``addr``."""
+    """Base byte address of the cache line containing ``addr``.
+
+    Negative addresses are rejected: Python's floor-division/masking would
+    silently return a "valid"-looking line for them, so a sign bug upstream
+    would corrupt an unrelated line instead of faulting.
+    """
+    if addr < 0:
+        raise MemoryFault(f"negative address {addr}")
     return addr & ~(CACHE_LINE - 1)
 
 
 def lines_spanned(addr: int, size: int) -> range:
     """Indices of every cache line touched by ``[addr, addr+size)``."""
+    if addr < 0:
+        raise MemoryFault(f"negative address {addr}")
     if size <= 0:
         return range(0)
     return range(addr // CACHE_LINE, (addr + size - 1) // CACHE_LINE + 1)

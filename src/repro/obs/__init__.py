@@ -1,0 +1,40 @@
+"""Unified observability layer: metrics registry, sim-time tracer, scraper.
+
+* :mod:`repro.obs.metrics` -- named/labelled counters, gauges, histograms
+  plus snapshot/delta semantics (:class:`MetricsRegistry`).
+* :mod:`repro.obs.trace` -- typed span/instant events against the virtual
+  clock with Chrome-trace/Perfetto JSON export (:class:`Tracer`).
+* :mod:`repro.obs.scraper` -- a sim-time process sampling the registry into
+  time-series buffers (:class:`TelemetryScraper`).
+* :mod:`repro.obs.bindings` -- collectors that expose the pre-existing
+  ad-hoc counter classes (``LinkStats``, ``CacheStats``, ...) through the
+  registry without mutating them.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Sample,
+    labels_key,
+)
+from .scraper import TelemetryScraper
+from .trace import NULL_TRACER, TraceEvent, Tracer
+from . import bindings
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Sample",
+    "labels_key",
+    "TelemetryScraper",
+    "Tracer",
+    "TraceEvent",
+    "NULL_TRACER",
+    "bindings",
+]

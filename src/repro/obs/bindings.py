@@ -1,0 +1,238 @@
+"""Registry bindings for the pre-existing ad-hoc counter classes.
+
+Each ``bind_*`` function registers a *collector* -- a callable evaluated at
+snapshot time that reads a legacy counter object (``LinkStats``,
+``CacheStats``, ``ChannelCounters``, NIC/SSD/switch/driver attributes) and
+yields registry :class:`~repro.obs.metrics.Sample` objects with canonical
+names and labels.  Binding is observation-only: the legacy objects stay the
+source of truth and are never mutated, so experiments that read them
+directly keep producing identical numbers.
+
+Everything here is duck-typed on the counter objects' public attributes to
+keep :mod:`repro.obs` import-free of the subsystem modules (the pod wires
+the concrete objects in).
+
+Canonical metric names:
+
+=========================  ==============================  =================
+name                       labels                          source
+=========================  ==============================  =================
+``cxl_link_bytes``         host, direction, category       ``LinkStats``
+``cache_ops``              host, domain, op                ``CacheStats``
+``channel_ops``            channel, role, op               ``ChannelCounters``
+``nic_frames``/``_bytes``  device, host, direction         ``SimNIC``
+``nic_dropped_frames``     device, host, reason            ``SimNIC``
+``ssd_ops``/``ssd_bytes``  device, host, op                ``SimSSD``
+``switch_frames``          switch, event                   ``LearningSwitch``
+``switch_port_*``          switch, port                    ``SwitchPort``
+``driver_*``               driver, (op)                    ``Driver`` + subclasses
+``allocator_events``       event                           ``PodAllocator``
+``raft_term``/...          node                            ``RaftNode``
+=========================  ==============================  =================
+"""
+
+from __future__ import annotations
+
+from .metrics import MetricsRegistry, Sample, labels_key
+
+__all__ = [
+    "bind_pool",
+    "bind_cache",
+    "bind_channel_endpoint",
+    "bind_channel_pair",
+    "bind_nic",
+    "bind_ssd",
+    "bind_switch",
+    "bind_driver",
+    "bind_allocator",
+    "bind_raft_node",
+    "CACHE_OP_FIELDS",
+    "CHANNEL_OP_FIELDS",
+]
+
+#: CacheStats counter attributes exported as ``cache_ops``
+CACHE_OP_FIELDS = (
+    "hits", "misses", "stores", "writebacks", "invalidations", "fences",
+    "prefetches_issued", "prefetches_ignored", "evictions",
+    "dma_read_snoop_hits", "dma_write_snoop_hits",
+)
+
+#: ChannelCounters attributes exported as ``channel_ops``
+CHANNEL_OP_FIELDS = (
+    "sent", "received", "empty_polls", "counter_refreshes",
+    "counter_updates", "full_stalls",
+)
+
+
+def _sample(name, value, **labels) -> Sample:
+    return Sample(name, labels_key(labels), float(value))
+
+
+def bind_pool(registry: MetricsRegistry, pool) -> None:
+    """Export a :class:`CXLMemoryPool`'s per-host ``LinkStats``."""
+
+    def collect():
+        for host, stats in pool.link_stats.items():
+            for category, nbytes in stats.read_bytes.items():
+                yield _sample("cxl_link_bytes", nbytes, host=host,
+                              direction="read", category=category)
+            for category, nbytes in stats.write_bytes.items():
+                yield _sample("cxl_link_bytes", nbytes, host=host,
+                              direction="write", category=category)
+
+    registry.register_collector(collect)
+
+
+def bind_cache(registry: MetricsRegistry, cache, host: str,
+               domain: str = "cxl") -> None:
+    """Export one :class:`HostCache`'s ``CacheStats`` plus its line count."""
+
+    def collect():
+        stats = cache.stats
+        for op in CACHE_OP_FIELDS:
+            yield _sample("cache_ops", getattr(stats, op), host=host,
+                          domain=domain, op=op)
+        yield _sample("cache_lines_resident", cache.cached_line_count,
+                      host=host, domain=domain)
+
+    registry.register_collector(collect)
+
+
+def bind_channel_endpoint(registry: MetricsRegistry, counters, channel: str,
+                          role: str) -> None:
+    """Export one ``ChannelCounters`` (sender or receiver side)."""
+
+    def collect():
+        for op in CHANNEL_OP_FIELDS:
+            yield _sample("channel_ops", getattr(counters, op),
+                          channel=channel, role=role, op=op)
+
+    registry.register_collector(collect)
+
+
+def bind_channel_pair(registry: MetricsRegistry, pair) -> None:
+    """Export both directions of a :class:`ChannelPair` (CXL channels only)."""
+    for endpoint in (pair.a_to_b, pair.b_to_a):
+        sender = getattr(endpoint, "sender", None)
+        receiver = getattr(endpoint, "receiver", None)
+        if sender is not None:
+            bind_channel_endpoint(registry, sender.counters, endpoint.name,
+                                  "sender")
+        if receiver is not None:
+            bind_channel_endpoint(registry, receiver.counters, endpoint.name,
+                                  "receiver")
+
+
+def bind_nic(registry: MetricsRegistry, nic) -> None:
+    host = nic.host.name
+
+    def collect():
+        name = nic.name
+        yield _sample("nic_frames", nic.tx_frames, device=name, host=host,
+                      direction="tx")
+        yield _sample("nic_frames", nic.rx_frames, device=name, host=host,
+                      direction="rx")
+        yield _sample("nic_bytes", nic.tx_bytes, device=name, host=host,
+                      direction="tx")
+        yield _sample("nic_bytes", nic.rx_bytes, device=name, host=host,
+                      direction="rx")
+        yield _sample("nic_dropped_frames", nic.rx_dropped_no_buffer,
+                      device=name, host=host, reason="no_buffer")
+        yield _sample("nic_dropped_frames", nic.rx_dropped_down,
+                      device=name, host=host, reason="link_down")
+        yield _sample("nic_link_up", 1.0 if nic.link_up else 0.0,
+                      device=name, host=host)
+        yield _sample("device_aer_errors", nic.aer.total(), device=name,
+                      host=host)
+
+    registry.register_collector(collect)
+
+
+def bind_ssd(registry: MetricsRegistry, ssd) -> None:
+    host = ssd.host.name
+
+    def collect():
+        name = ssd.name
+        yield _sample("ssd_ops", ssd.reads, device=name, host=host, op="read")
+        yield _sample("ssd_ops", ssd.writes, device=name, host=host, op="write")
+        yield _sample("ssd_bytes", ssd.read_bytes, device=name, host=host,
+                      op="read")
+        yield _sample("ssd_bytes", ssd.write_bytes, device=name, host=host,
+                      op="write")
+        yield _sample("device_aer_errors", ssd.aer.total(), device=name,
+                      host=host)
+
+    registry.register_collector(collect)
+
+
+def bind_switch(registry: MetricsRegistry, switch) -> None:
+    def collect():
+        name = switch.name
+        yield _sample("switch_frames", switch.forwarded_frames, switch=name,
+                      event="forwarded")
+        yield _sample("switch_frames", switch.flooded_frames, switch=name,
+                      event="flooded")
+        for port_id, port in switch.ports.items():
+            yield _sample("switch_port_tx_frames", port.tx_frames,
+                          switch=name, port=str(port_id))
+            yield _sample("switch_port_tx_bytes", port.tx_bytes,
+                          switch=name, port=str(port_id))
+            yield _sample("switch_port_dropped_frames", port.dropped_frames,
+                          switch=name, port=str(port_id))
+
+    registry.register_collector(collect)
+
+
+#: extra per-driver counters exported when present (frontends vs backends)
+_DRIVER_EXTRA_FIELDS = (
+    "tx_forwarded", "rx_delivered", "rx_unknown_instance", "tx_no_buffer",
+    "tx_posted", "rx_forwarded", "rx_fallback_inspections",
+    "rx_dropped_unknown",
+)
+
+
+def bind_driver(registry: MetricsRegistry, driver) -> None:
+    """Export a busy-polling :class:`Driver`'s loop and datapath counters."""
+
+    def collect():
+        name = driver.name
+        yield _sample("driver_busy_ns", driver.busy_ns, driver=name)
+        yield _sample("driver_wakeups", driver.wakeups, driver=name)
+        for op in _DRIVER_EXTRA_FIELDS:
+            value = getattr(driver, op, None)
+            if value is not None:
+                yield _sample("driver_ops", value, driver=name, op=op)
+
+    registry.register_collector(collect)
+
+
+def bind_allocator(registry: MetricsRegistry, allocator) -> None:
+    def collect():
+        yield _sample("allocator_events", allocator.failovers_executed,
+                      event="failover")
+        yield _sample("allocator_events", allocator.migrations_executed,
+                      event="migration")
+        yield _sample("allocator_telemetry_records",
+                      allocator.telemetry_store.records_ingested)
+        for device in allocator.devices.values():
+            yield _sample("allocator_device_allocated", device.allocated,
+                          device=device.name, kind="nic")
+            yield _sample("allocator_device_failed",
+                          1.0 if device.failed else 0.0,
+                          device=device.name, kind="nic")
+        for device in allocator.storage_devices.values():
+            yield _sample("allocator_device_allocated", device.allocated,
+                          device=device.name, kind="ssd")
+
+    registry.register_collector(collect)
+
+
+def bind_raft_node(registry: MetricsRegistry, node) -> None:
+    def collect():
+        name = node.node_id
+        yield _sample("raft_term", node.current_term, node=name)
+        yield _sample("raft_commit_index", node.commit_index, node=name)
+        yield _sample("raft_is_leader", 1.0 if node.state == "leader" else 0.0,
+                      node=name)
+
+    registry.register_collector(collect)

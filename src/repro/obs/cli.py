@@ -1,0 +1,148 @@
+"""``python -m repro report`` / ``python -m repro trace``.
+
+``report`` runs a short echo workload on a two-host pod with telemetry
+scraping enabled and prints registry-backed summaries: pod-wide CXL link
+traffic by category, NIC/channel/cache activity, and the scraped bandwidth
+time series.
+
+``trace`` runs the Figure 13 failover scenario with the tracer recording the
+failover phases, exports Chrome-trace JSON (loadable in ``chrome://tracing``
+or Perfetto) and prints the phase breakdown plus a plain-text timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.report import render_series, render_table
+
+__all__ = ["report", "trace", "main_report", "main_trace"]
+
+
+def report(duration_s: float = 0.3, rate_pps: float = 20_000.0,
+           packet_size: int = 256, scrape_period_s: float = 0.01) -> dict:
+    """Run an echo pod with telemetry scraping; return the summary data."""
+    from ..experiments.common import SERVER_IP, build_echo_pod
+    from ..workloads.echo import EchoClient
+
+    pod, inst, client_ep, nic0 = build_echo_pod("oasis", remote=True)
+    pod.start_telemetry(period_s=scrape_period_s)
+    client = EchoClient(pod.sim, client_ep, SERVER_IP,
+                        packet_size=packet_size, rate_pps=rate_pps,
+                        metrics=pod.metrics)
+    client.start(duration_s)
+    pod.run(duration_s + 0.02)
+    pod.stop()
+
+    snapshot = pod.scraper.sample_now()
+    times, rates = pod.scraper.rates("cxl_link_bytes")
+    return {
+        "pod": pod,
+        "snapshot": snapshot,
+        "rtt_hist": client.rtt_hist,
+        "bw_times": times,
+        "bw_rates": rates,
+    }
+
+
+def main_report() -> dict:
+    data = report()
+    snapshot = data["snapshot"]
+
+    by_cat = snapshot.aggregate("cxl_link_bytes", by=("category",))
+    print(render_table(
+        ["category", "bytes"],
+        sorted(((cat, int(v)) for (cat,), v in by_cat.items()),
+               key=lambda r: -r[1]),
+        title="CXL link traffic by category (registry: cxl_link_bytes)",
+    ))
+    print()
+
+    by_host_dir = snapshot.aggregate("cxl_link_bytes", by=("host", "direction"))
+    print(render_table(
+        ["host", "direction", "bytes"],
+        sorted((h, d, int(v)) for (h, d), v in by_host_dir.items()),
+        title="CXL link traffic by host link",
+    ))
+    print()
+
+    nic_rows = []
+    for (device, direction), frames in sorted(
+            snapshot.aggregate("nic_frames", by=("device", "direction")).items()):
+        nbytes = snapshot.aggregate("nic_bytes", by=("device", "direction"))
+        nic_rows.append((device, direction, int(frames),
+                         int(nbytes.get((device, direction), 0))))
+    print(render_table(["nic", "dir", "frames", "bytes"], nic_rows,
+                       title="NIC activity (registry: nic_frames/nic_bytes)"))
+    print()
+
+    chan = snapshot.aggregate("channel_ops", by=("op",))
+    print(render_table(
+        ["channel op", "count"],
+        [(op, int(v)) for (op,), v in sorted(chan.items())],
+        title="Message-channel operations, all channels "
+              "(registry: channel_ops)",
+    ))
+    print()
+
+    cache = snapshot.aggregate("cache_ops", by=("op",))
+    print(render_table(
+        ["cache op", "count"],
+        [(op, int(v)) for (op,), v in sorted(cache.items()) if v],
+        title="Host-cache operations, all hosts (registry: cache_ops)",
+    ))
+    print()
+
+    hist = data["rtt_hist"]
+    if hist is not None and hist.count:
+        import numpy as np
+
+        obs = np.asarray(hist.observations)
+        print(render_table(
+            ["metric", "value"],
+            [("echo RTT p50 (us)", round(float(np.percentile(obs, 50)), 2)),
+             ("echo RTT p99 (us)", round(float(np.percentile(obs, 99)), 2)),
+             ("echo RTT mean (us)", round(hist.mean, 2)),
+             ("echoes", hist.count)],
+            title="Echo RTT (registry: echo_rtt_us histogram)",
+        ))
+        print()
+
+    if data["bw_rates"]:
+        print(render_series(
+            "Scraped CXL bandwidth per scrape interval",
+            [round(t, 3) for t in data["bw_times"]],
+            [r / 1e9 for r in data["bw_rates"]],
+            x_label="time s", y_label="GB/s", digits=3,
+        ))
+    scraper = data["pod"].scraper
+    print(f"\n{len(scraper)} snapshots scraped, "
+          f"{data['pod'].metrics.collector_count} collectors, "
+          f"{len(snapshot)} samples in the last snapshot")
+    return data
+
+
+def trace(out_path: Optional[str] = "oasis-failover-trace.json") -> dict:
+    """Run the Fig 13 failover with tracing; export Chrome-trace JSON."""
+    from ..experiments import fig13
+
+    return fig13.run(duration_s=1.2, rate_pps=3000.0, fail_at_s=0.602,
+                     trace_path=out_path)
+
+
+def main_trace(out_path: Optional[str] = "oasis-failover-trace.json") -> dict:
+    results = trace(out_path)
+    print(render_table(
+        ["phase", "ms"],
+        [(name, round(ms, 3))
+         for name, ms in results["failover_phases_ms"].items()]
+        + [("sum of phases", round(results["failover_phase_sum_ms"], 3)),
+           ("measured interruption", round(results["interruption_ms"], 3))],
+        title="Failover phases (traced, §3.3.3)",
+    ))
+    print("\nTimeline:")
+    print(results["trace_timeline"])
+    if out_path:
+        print(f"\n{results['trace_events']} Chrome-trace records written to "
+              f"{out_path} (open in chrome://tracing or Perfetto)")
+    return results

@@ -1,0 +1,326 @@
+"""Pod-wide metrics registry: named, labelled counters/gauges/histograms.
+
+Before this layer existed, counters were scattered ad hoc across
+``CacheStats``, ``ChannelCounters``, ``LinkStats`` and the NIC/SSD/switch
+classes, with no way to scrape them over time or correlate them with
+sim-time events.  The registry gives every subsystem one place to publish:
+
+* **instruments** -- :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+  objects created through the registry and mutated on the hot path
+  (``inc`` / ``set`` / ``observe`` are a dict lookup plus an add);
+* **collectors** -- callables registered with
+  :meth:`MetricsRegistry.register_collector` that *read* the existing
+  legacy counter objects at snapshot time.  Binding a subsystem is therefore
+  observation-only: ``CacheStats`` and friends remain the source of truth,
+  and experiments that consume them keep producing identical numbers.
+
+Every sample carries a label set (``host``, ``device``, ``channel``,
+``category``, ...).  :meth:`MetricsRegistry.snapshot` materialises all
+samples into an immutable :class:`MetricsSnapshot` with cheap
+``delta_since`` / ``aggregate`` semantics, mirroring (and generalising) the
+pre-existing ``LinkStats.snapshot`` / ``delta_since`` idiom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Sample",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "labels_key",
+]
+
+#: canonical immutable form of a label set: sorted (key, value) pairs
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def labels_key(labels: Dict[str, str]) -> LabelsKey:
+    """Canonical hashable form of a label dict."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One scraped value: a metric name, its labels, and a number."""
+
+    name: str
+    labels: LabelsKey
+    value: float
+
+    def label(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        for k, v in self.labels:
+            if k == key:
+                return v
+        return default
+
+
+class _Instrument:
+    """Base class for registry-owned instruments."""
+
+    kind = "abstract"
+    __slots__ = ("name", "labels", "help")
+
+    def __init__(self, name: str, labels: LabelsKey, help: str = ""):
+        self.name = name
+        self.labels = labels
+        self.help = help
+
+    def samples(self) -> Iterable[Sample]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ",".join(f"{k}={v}" for k, v in self.labels)
+        return f"<{type(self).__name__} {self.name}{{{pairs}}}>"
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelsKey, help: str = ""):
+        super().__init__(name, labels, help)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (by {amount})")
+        self.value += amount
+
+    def samples(self) -> Iterable[Sample]:
+        yield Sample(self.name, self.labels, self.value)
+
+
+class Gauge(_Instrument):
+    """A point-in-time value; optionally backed by a read callback.
+
+    Callback-backed gauges (``fn``) are how the legacy ad-hoc counters are
+    registered without being rewritten: the callable is evaluated at
+    snapshot time.
+    """
+
+    kind = "gauge"
+    __slots__ = ("_value", "fn")
+
+    def __init__(self, name: str, labels: LabelsKey, help: str = "",
+                 fn: Optional[Callable[[], float]] = None):
+        super().__init__(name, labels, help)
+        self._value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        if self.fn is not None:
+            return float(self.fn())
+        return self._value
+
+    def samples(self) -> Iterable[Sample]:
+        yield Sample(self.name, self.labels, self.value)
+
+
+#: default histogram bucket bounds (generic latency-ish scale)
+DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+                   1000.0, 2500.0, 5000.0, 10000.0, float("inf"))
+
+
+class Histogram(_Instrument):
+    """A distribution: cumulative buckets plus count/sum.
+
+    ``keep_raw=True`` (the default) also retains every observation, so
+    experiments can compute *exact* percentiles from the registry -- this is
+    what lets Figure 10/11 render from the registry while staying
+    numerically identical to the legacy hand-pulled lists.
+    """
+
+    kind = "histogram"
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "observations",
+                 "keep_raw")
+
+    def __init__(self, name: str, labels: LabelsKey, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS,
+                 keep_raw: bool = True):
+        super().__init__(name, labels, help)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds or bounds[-1] != float("inf"):
+            bounds.append(float("inf"))
+        self.buckets: Tuple[float, ...] = tuple(bounds)
+        self.bucket_counts: List[int] = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+        self.keep_raw = keep_raw
+        self.observations: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+        if self.keep_raw:
+            self.observations.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def samples(self) -> Iterable[Sample]:
+        yield Sample(f"{self.name}_count", self.labels, float(self.count))
+        yield Sample(f"{self.name}_sum", self.labels, self.sum)
+        cumulative = 0
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            cumulative += n
+            le = "+Inf" if bound == float("inf") else f"{bound:g}"
+            yield Sample(f"{self.name}_bucket", self.labels + (("le", le),),
+                         float(cumulative))
+
+
+class MetricsSnapshot:
+    """An immutable point-in-time view of every sample in a registry."""
+
+    __slots__ = ("time", "values")
+
+    def __init__(self, values: Dict[Tuple[str, LabelsKey], float],
+                 time: float = 0.0):
+        self.time = time
+        self.values = values
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def get(self, name: str, default: float = 0.0, **labels) -> float:
+        return self.values.get((name, labels_key(labels)), default)
+
+    def delta_since(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Per-sample difference against an earlier snapshot.
+
+        Samples absent from ``earlier`` are treated as zero, matching
+        ``LinkStats.delta_since``.
+        """
+        return MetricsSnapshot(
+            {key: value - earlier.values.get(key, 0.0)
+             for key, value in self.values.items()},
+            time=self.time,
+        )
+
+    def aggregate(self, name: str,
+                  by: Sequence[str] = ()) -> Dict[Tuple[str, ...], float]:
+        """Sum samples of ``name`` grouped by the given label keys.
+
+        With ``by=()`` the result has a single entry keyed by the empty
+        tuple (the grand total).
+        """
+        out: Dict[Tuple[str, ...], float] = {}
+        for (sample_name, labels), value in self.values.items():
+            if sample_name != name:
+                continue
+            table = dict(labels)
+            group = tuple(table.get(k, "") for k in by)
+            out[group] = out.get(group, 0.0) + value
+        return out
+
+    def total(self, name: str) -> float:
+        return sum(self.aggregate(name).values())
+
+    def names(self) -> List[str]:
+        return sorted({name for name, _ in self.values})
+
+    def items(self):
+        return self.values.items()
+
+
+class MetricsRegistry:
+    """The pod-wide registry of instruments and legacy-counter collectors."""
+
+    def __init__(self):
+        self._instruments: Dict[Tuple[str, LabelsKey], _Instrument] = {}
+        self._collectors: List[Callable[[], Iterable[Sample]]] = []
+
+    # -- instrument creation (get-or-create, idempotent) ----------------------
+
+    def _get_or_create(self, cls, name: str, help: str, labels: dict, **kwargs):
+        key = (name, labels_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1], help=help, **kwargs)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name}{dict(key[1])} already registered as "
+                f"{instrument.kind}, not {cls.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              fn: Optional[Callable[[], float]] = None, **labels) -> Gauge:
+        gauge = self._get_or_create(Gauge, name, help, labels)
+        if fn is not None:
+            gauge.fn = fn
+        return gauge
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  keep_raw: bool = True, **labels) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels,
+                                   buckets=buckets, keep_raw=keep_raw)
+
+    def register_collector(self, fn: Callable[[], Iterable[Sample]]) -> None:
+        """Register a callable yielding :class:`Sample` objects at scrape time."""
+        self._collectors.append(fn)
+
+    # -- reading ---------------------------------------------------------------
+
+    def collect(self) -> List[Sample]:
+        """Every sample currently visible (instruments + collectors)."""
+        out: List[Sample] = []
+        for instrument in self._instruments.values():
+            out.extend(instrument.samples())
+        for collector in self._collectors:
+            out.extend(collector())
+        return out
+
+    def snapshot(self, time: float = 0.0) -> MetricsSnapshot:
+        """Materialise a :class:`MetricsSnapshot` (duplicate samples sum)."""
+        values: Dict[Tuple[str, LabelsKey], float] = {}
+        for sample in self.collect():
+            key = (sample.name, sample.labels)
+            values[key] = values.get(key, 0.0) + sample.value
+        return MetricsSnapshot(values, time=time)
+
+    def value(self, name: str, default: float = 0.0, **labels) -> float:
+        return self.snapshot().get(name, default, **labels)
+
+    def aggregate(self, name: str,
+                  by: Sequence[str] = ()) -> Dict[Tuple[str, ...], float]:
+        return self.snapshot().aggregate(name, by=by)
+
+    def find(self, name: str) -> List[_Instrument]:
+        return [inst for (n, _), inst in self._instruments.items() if n == name]
+
+    @property
+    def instrument_count(self) -> int:
+        return len(self._instruments)
+
+    @property
+    def collector_count(self) -> int:
+        return len(self._collectors)

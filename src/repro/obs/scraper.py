@@ -1,0 +1,121 @@
+"""Periodic scraping of a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+The scraper is a simulation-time process: every ``period_s`` of *virtual*
+time it materialises a :class:`~repro.obs.metrics.MetricsSnapshot` of the
+whole registry into a bounded time-series buffer.  Experiments and the
+``python -m repro report`` CLI then read per-metric series
+(:meth:`TelemetryScraper.series`) or per-interval rates
+(:meth:`TelemetryScraper.rates`) out of the buffer, exactly the way the
+pod-wide allocator consumes the backends' 100 ms telemetry records (§3.5).
+
+The scrape period relies on :class:`~repro.sim.core.PeriodicTask` firing
+from an unjittered base timeline -- "every 100 ms" really means a 100 ms
+mean period, which is what makes the derived rates trustworthy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .metrics import MetricsRegistry, MetricsSnapshot
+
+__all__ = ["TelemetryScraper"]
+
+
+class TelemetryScraper:
+    """Samples a registry at a configurable virtual-time period."""
+
+    def __init__(
+        self,
+        sim,
+        registry: MetricsRegistry,
+        period_s: float = 0.1,
+        max_snapshots: int = 100_000,
+    ):
+        self.sim = sim
+        self.registry = registry
+        self.period_s = period_s
+        self.max_snapshots = max_snapshots
+        self.snapshots: List[MetricsSnapshot] = []
+        self.samples_taken = 0
+        self.dropped = 0
+        self._task = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None
+
+    def start(self, period_s: Optional[float] = None) -> "TelemetryScraper":
+        """Begin sampling every ``period_s`` (idempotent)."""
+        if self._task is not None:
+            return self
+        if period_s is not None:
+            self.period_s = period_s
+        self._task = self.sim.every(self.period_s, self._sample)
+        return self
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+
+    def _sample(self) -> None:
+        self.samples_taken += 1
+        if len(self.snapshots) >= self.max_snapshots:
+            self.dropped += 1
+            return
+        self.snapshots.append(self.registry.snapshot(time=self.sim.now))
+
+    def sample_now(self) -> MetricsSnapshot:
+        """Take one out-of-band sample immediately (also buffered)."""
+        snapshot = self.registry.snapshot(time=self.sim.now)
+        if len(self.snapshots) < self.max_snapshots:
+            self.snapshots.append(snapshot)
+        return snapshot
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    @property
+    def latest(self) -> Optional[MetricsSnapshot]:
+        return self.snapshots[-1] if self.snapshots else None
+
+    def times(self) -> List[float]:
+        return [snapshot.time for snapshot in self.snapshots]
+
+    def series(self, name: str, **labels) -> Tuple[List[float], List[float]]:
+        """The sampled values of one metric over time: ``(times, values)``.
+
+        With no labels given, samples of ``name`` are summed across all
+        label sets (the pod-wide total).
+        """
+        times: List[float] = []
+        values: List[float] = []
+        for snapshot in self.snapshots:
+            times.append(snapshot.time)
+            if labels:
+                values.append(snapshot.get(name, **labels))
+            else:
+                values.append(snapshot.total(name))
+        return times, values
+
+    def rates(self, name: str, **labels) -> Tuple[List[float], List[float]]:
+        """Per-second deltas between consecutive samples of a counter."""
+        times, values = self.series(name, **labels)
+        out_t: List[float] = []
+        out_r: List[float] = []
+        for i in range(1, len(times)):
+            dt = times[i] - times[i - 1]
+            if dt <= 0:
+                continue
+            out_t.append(times[i])
+            out_r.append((values[i] - values[i - 1]) / dt)
+        return out_t, out_r
+
+    def clear(self) -> None:
+        self.snapshots.clear()
+        self.dropped = 0

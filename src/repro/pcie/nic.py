@@ -28,6 +28,7 @@ from ..config import NICConfig
 from ..errors import DeviceError
 from ..net.packet import Frame
 from ..net.switch import SwitchPort
+from ..obs.trace import NULL_TRACER
 from ..sim.core import Simulator
 from .device import PCIeDevice
 from .queues import Completion, DescriptorRing, RxDescriptor, TxDescriptor
@@ -37,6 +38,8 @@ __all__ = ["SimNIC"]
 
 class SimNIC(PCIeDevice):
     """A host-attached NIC pooled by the Oasis network engine."""
+
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -129,6 +132,9 @@ class SimNIC(PCIeDevice):
         serialize_s = frame.wire_size / self.config.bytes_per_sec
         done = self.sim.now + dma_s + serialize_s
         self._tx_busy_until = done
+        self.tracer.span("nic.tx", self.sim.now, dma_s + serialize_s,
+                         category="dma", track=self.name,
+                         bytes=frame.wire_size)
         self.sim.at(done, self._tx_emit, frame, desc)
         self._kick_tx_at(done)
 
@@ -190,6 +196,9 @@ class SimNIC(PCIeDevice):
         self.rx_bytes += frame.wire_size
         done = self.sim.now + self.host.link_transfer_delay(
             frame.wire_size, direction="write", local=desc.local)
+        self.tracer.span("nic.rx", self.sim.now, done - self.sim.now,
+                         category="dma", track=self.name,
+                         bytes=frame.wire_size)
         completion = Completion(descriptor=desc, status=0, length=len(data),
                                 tag=tag, timestamp=done)
         self.sim.at(done, self._deliver_rx, completion)

@@ -17,6 +17,7 @@ from typing import Callable, Dict, Optional
 
 from ..config import SSDConfig
 from ..errors import DeviceError
+from ..obs.trace import NULL_TRACER
 from ..sim.core import Simulator, USEC
 from .device import PCIeDevice
 from .queues import Completion, DescriptorRing, NVMeCommand
@@ -32,6 +33,8 @@ NVME_STATUS_LBA_RANGE = 0x80
 
 class SimSSD(PCIeDevice):
     """A host-attached NVMe SSD pooled by the Oasis storage engine."""
+
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -88,6 +91,10 @@ class SimSSD(PCIeDevice):
         start = max(self.sim.now, self._media_busy_until)
         self._media_busy_until = start + transfer_s
         done = start + transfer_s + media_us * USEC
+        self.tracer.span(
+            "ssd.write" if cmd.opcode == NVME_OP_WRITE else "ssd.read",
+            start, done - start, category="dma", track=self.name,
+            bytes=nbytes, slba=cmd.slba)
         self.sim.at(done, self._execute, cmd, nbytes)
 
     def _execute(self, cmd: NVMeCommand, nbytes: int) -> None:

@@ -317,9 +317,18 @@ class Simulator:
 
 
 class PeriodicTask:
-    """A repeating callback; cancel with :meth:`cancel`."""
+    """A repeating callback; cancel with :meth:`cancel`.
 
-    __slots__ = ("sim", "interval", "fn", "args", "jitter", "rng", "_event", "_cancelled")
+    Each firing is scheduled off an unjittered base timeline
+    (``start + n * interval``); jitter only offsets the individual firing
+    from its base tick.  Adding jitter to every gap instead would inflate
+    the mean period to ``interval + jitter/2`` and drift the task
+    unboundedly late -- a 100 ms telemetry task would silently sample
+    slower than configured.
+    """
+
+    __slots__ = ("sim", "interval", "fn", "args", "jitter", "rng",
+                 "_next_base", "_event", "_cancelled")
 
     def __init__(self, sim, interval, fn, args, start_after, jitter, rng):
         self.sim = sim
@@ -330,19 +339,22 @@ class PeriodicTask:
         self.rng = rng
         self._cancelled = False
         delay = interval if start_after is None else start_after
-        self._event = sim.schedule(self._jittered(delay), self._fire)
+        self._next_base = sim.now + delay
+        self._event = sim.schedule(self._jittered_delay(), self._fire)
 
-    def _jittered(self, delay: float) -> float:
+    def _jittered_delay(self) -> float:
+        when = self._next_base
         if self.jitter and self.rng is not None:
-            delay += float(self.rng.uniform(0, self.jitter))
-        return max(delay, 0.0)
+            when += float(self.rng.uniform(0, self.jitter))
+        return max(when - self.sim.now, 0.0)
 
     def _fire(self) -> None:
         if self._cancelled:
             return
         self.fn(*self.args)
         if not self._cancelled:
-            self._event = self.sim.schedule(self._jittered(self.interval), self._fire)
+            self._next_base += self.interval
+            self._event = self.sim.schedule(self._jittered_delay(), self._fire)
 
     def cancel(self) -> None:
         self._cancelled = True

@@ -86,6 +86,8 @@ class EchoClient:
         server_port: int = ECHO_PORT,
         rng: Optional[np.random.Generator] = None,
         poisson: bool = False,
+        metrics=None,
+        name: str = "echo-client",
     ):
         self.sim = sim
         self.endpoint = endpoint
@@ -98,6 +100,16 @@ class EchoClient:
         self.sock = UdpSocket(sim, endpoint, port)
         self.sock.on_datagram(self._on_reply)
         self.stats = EchoStats()
+        self.name = name
+        # When a pod's MetricsRegistry is passed in, RTTs are also observed
+        # into an "echo_rtt_us" histogram (keep_raw), so experiments can
+        # compute exact percentiles from the registry.
+        self.rtt_hist = None
+        if metrics is not None:
+            self.rtt_hist = metrics.histogram(
+                "echo_rtt_us", help="UDP echo round-trip time (us)",
+                keep_raw=True, client=name,
+            )
         self._send_time: Dict[int, float] = {}
         self._next_seq = 0
         self._task = None
@@ -146,6 +158,9 @@ class EchoClient:
         if sent_at is None:
             return
         self.stats.received += 1
-        self.stats.latencies_us.append((self.sim.now - sent_at) / USEC)
+        rtt_us = (self.sim.now - sent_at) / USEC
+        self.stats.latencies_us.append(rtt_us)
+        if self.rtt_hist is not None:
+            self.rtt_hist.observe(rtt_us)
         self.stats.recv_times.append(self.sim.now)
         self.stats._received_seqs.add(frame.seq)

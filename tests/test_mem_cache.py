@@ -195,6 +195,33 @@ class TestEviction:
         cache.store(64, b"b" * 64)   # evicts line 0
         assert small_pool.dma_read(0, 64) == b"a" * 64
 
+    def test_dirty_eviction_goes_through_writeback_hook(self, small_pool):
+        # The seed wrote dirty evicted lines straight to the pool, bypassing
+        # the writeback hook -- so a timing harness modelling posted-write
+        # flight time (the Fig 6 microbench) never saw capacity evictions.
+        cache = HostCache(small_pool, "h", capacity_lines=1)
+        hooked = []
+        cache.writeback_hook = lambda idx, data, cat: hooked.append(
+            (idx, data, cat))
+        cache.store(0, b"a" * 64)
+        cache.store(64, b"b" * 64)   # evicts dirty line 0
+        assert hooked == [(0, b"a" * 64, "eviction")]
+        # The hook owns the delayed apply: the pool must NOT have the data yet.
+        assert small_pool.dma_read(0, 64) == bytes(64)
+        # The link traffic is still accounted as an eviction write.
+        assert small_pool.stats_for("h").write_bytes.get("eviction") == 64
+
+    def test_clean_eviction_skips_writeback_hook(self, small_pool):
+        cache = HostCache(small_pool, "h", capacity_lines=1)
+        hooked = []
+        cache.writeback_hook = lambda idx, data, cat: hooked.append(idx)
+        cache.store(0, b"a" * 64)
+        cache.clwb(0)                # line 0 now clean
+        hooked.clear()
+        cache.load(64, 1)            # evicts clean line 0
+        assert hooked == []
+        assert cache.stats.evictions == 1
+
     def test_lru_touch_on_access(self, small_pool):
         cache = HostCache(small_pool, "h", capacity_lines=2)
         cache.store(0, b"a" * 64)

@@ -23,6 +23,20 @@ class TestAddressMath:
         assert list(lines_spanned(0, 0)) == []
         assert list(lines_spanned(128, 1)) == [2]
 
+    def test_line_base_rejects_negative_address(self):
+        # The seed silently returned a "valid"-looking base for negative
+        # addresses (Python floor masking), hiding sign bugs upstream.
+        with pytest.raises(MemoryFault):
+            line_base(-1)
+        with pytest.raises(MemoryFault):
+            line_base(-64)
+
+    def test_lines_spanned_rejects_negative_address(self):
+        with pytest.raises(MemoryFault):
+            lines_spanned(-1, 64)
+        with pytest.raises(MemoryFault):
+            lines_spanned(-128, 0)   # addr checked before the size early-out
+
 
 class TestPool:
     def test_unwritten_reads_as_zero(self, small_pool):

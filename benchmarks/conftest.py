@@ -4,8 +4,43 @@ Each benchmark regenerates one of the paper's tables/figures and prints the
 rows the paper reports.  Simulated durations default to half scale so the
 whole suite finishes in minutes; set ``OASIS_SCALE=1`` for full-scale runs
 (or higher for tighter statistics).
+
+Benchmarks that produce headline numbers record them through the
+``record_result`` fixture; at session end everything recorded is dumped to
+``BENCH_pr2.json`` (override the path with ``OASIS_BENCH_RESULTS``) so CI can
+archive the figures alongside the timing data.
 """
 
+import json
 import os
+from pathlib import Path
+
+import pytest
 
 os.environ.setdefault("OASIS_SCALE", "0.5")
+
+RESULTS_PATH = Path(os.environ.get(
+    "OASIS_BENCH_RESULTS",
+    str(Path(__file__).resolve().parent.parent / "BENCH_pr2.json")))
+
+_results = {}
+
+
+@pytest.fixture
+def record_result():
+    """Stash one benchmark's headline figures for the session-end dump."""
+    def _record(name, value):
+        _results[name] = value
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _results:
+        return
+    payload = {
+        "scale": float(os.environ.get("OASIS_SCALE", "1.0")),
+        "results": _results,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True)
+                            + "\n")
+    print(f"\nbenchmark results written to {RESULTS_PATH}")

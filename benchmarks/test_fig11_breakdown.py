@@ -1,17 +1,29 @@
 """Benchmark: Figure 11 -- overhead breakdown.
 
 Paper: I/O buffers in CXL cost almost nothing; cross-host message passing is
-nearly all of the overhead.
+nearly all of the overhead.  The flow-derived attribution run cross-checks
+the differenced breakdown against per-stage decomposition of the same RTTs.
 """
 
 from repro.experiments import fig11
 
 
-def test_fig11_breakdown(benchmark):
+def test_fig11_breakdown(benchmark, record_result):
     results = benchmark.pedantic(fig11.main, rounds=1, iterations=1)
-    for size, loads in results.items():
-        cell = loads["low"]
+    for size in (75, 1500):
+        cell = results[size]["low"]
         buffers = cell["local-cxl-buffers"]["p50"] - cell["local"]["p50"]
         messaging = cell["oasis"]["p50"] - cell["local-cxl-buffers"]["p50"]
         assert buffers < 1.5
         assert messaging > buffers
+    derived = results["attribution"]["derived"]
+    cell = results[75]["low"]
+    record_result("fig11", {
+        "buffer_cost_us": (cell["local-cxl-buffers"]["p50"]
+                           - cell["local"]["p50"]),
+        "messaging_cost_us": (cell["oasis"]["p50"]
+                              - cell["local-cxl-buffers"]["p50"]),
+        "flow_messaging_cost_us": derived["messaging_cost_us"],
+        "flow_channel_stage_delta_us": derived["channel_stage_delta_us"],
+        "channel_share_of_messaging": derived["channel_share_of_messaging"],
+    })

@@ -4,10 +4,15 @@ With no arguments, lists the available experiments; with names (e.g.
 ``fig6 table3`` or ``all``), runs them and prints the paper-style tables.
 Two observability subcommands ride along:
 
-* ``report`` -- run a short echo workload and print registry-backed metric
-  summaries (traffic by category/host, channel/cache ops, scraped bandwidth);
+* ``report [--json]`` -- run a short echo workload and print registry-backed
+  metric summaries (traffic by category/host, channel/cache ops, scraped
+  bandwidth); ``--json`` emits the machine-readable snapshot instead;
 * ``trace [out.json]`` -- run the Fig 13 failover with the sim-time tracer
-  and export Chrome-trace JSON.
+  and export Chrome-trace JSON;
+* ``flows [out.json]`` -- run the UDP echo workload with end-to-end flow
+  tracing and print the per-stage attribution table, critical path and
+  slowest-request waterfall (optionally exporting a Perfetto flow-arrow
+  trace).
 """
 
 from __future__ import annotations
@@ -27,24 +32,31 @@ def main(argv=None) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(f"repro {__version__} -- Oasis (SOSP '25) reproduction")
         print("usage: python -m repro <experiment ...|all>")
-        print("       python -m repro report")
-        print("       python -m repro trace [out.json]\n")
+        print("       python -m repro report [--json]")
+        print("       python -m repro trace [out.json]")
+        print("       python -m repro flows [out.json]\n")
         print("experiments:")
         for name, (title, _) in by_name.items():
             print(f"  {name:<8} {title}")
         print("\nobservability:")
         print("  report   registry-backed metrics summary of an echo run")
         print("  trace    failover run exported as Chrome-trace JSON")
+        print("  flows    per-request latency attribution (bottleneck profile)")
         return 0
     if argv[0] == "report":
         from .obs.cli import main_report
 
-        main_report()
+        main_report(as_json="--json" in argv[1:])
         return 0
     if argv[0] == "trace":
         from .obs.cli import main_trace
 
         main_trace(argv[1] if len(argv) > 1 else "oasis-failover-trace.json")
+        return 0
+    if argv[0] == "flows":
+        from .obs.cli import main_flows
+
+        main_flows(argv[1] if len(argv) > 1 else None)
         return 0
     if argv == ["all"]:
         runner.main()

@@ -109,6 +109,11 @@ class DoorbellChannel:
         self._visible_at: deque = deque()
         self._fire_scheduled_for: Optional[float] = None
 
+    @property
+    def pending(self) -> int:
+        """Messages sent but not yet drained (ring occupancy for flow depth)."""
+        return len(self._visible_at)
+
     # -- receiver side ----------------------------------------------------------
 
     def bind(self, work_signal: Signal) -> None:
@@ -198,6 +203,11 @@ class LocalChannel:
         self._work_signal: Optional[Signal] = None
         self._notify_pending = False
         self.sent = 0
+
+    @property
+    def pending(self) -> int:
+        """Messages queued but not yet drained (flow depth annotation)."""
+        return len(self._queue)
 
     def bind(self, work_signal: Signal) -> None:
         self._work_signal = work_signal

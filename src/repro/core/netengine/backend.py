@@ -24,6 +24,7 @@ from ...errors import ChannelFullError, DeviceError
 from ...host.host import Host, MemDomain
 from ...mem.layout import FixedPool, Region
 from ...net.packet import BROADCAST_MAC, Frame
+from ...obs.flow import NULL_FLOWS
 from ...obs.trace import NULL_TRACER
 from ...pcie.nic import SimNIC
 from ...pcie.queues import Completion, RxDescriptor, TxDescriptor
@@ -51,6 +52,7 @@ class NetBackend(Driver):
     COMP_ITEM_NS = 60.0
 
     tracer = NULL_TRACER
+    flows = NULL_FLOWS
 
     def __init__(
         self,
@@ -141,6 +143,10 @@ class NetBackend(Driver):
         self.kick()
 
     def _on_nic_rx(self, completion: Completion) -> None:
+        if self.flows.enabled:
+            flow = self.flows.peek(completion.descriptor.addr)
+            if flow is not None:
+                flow.stage("be.rx", depth=len(self._rx_comps))
         self._rx_comps.append(completion)
         self.kick()
 
@@ -191,6 +197,10 @@ class NetBackend(Driver):
         return items, cost
 
     def _handle_tx(self, link: FrontendLink, message: NetMessage) -> float:
+        if self.flows.enabled:
+            flow = self.flows.peek(message.buffer_addr)
+            if flow is not None:
+                flow.stage("be.tx", depth=len(self.nic.tx_ring))
         descriptor = TxDescriptor(
             addr=message.buffer_addr,
             length=message.size,
@@ -265,6 +275,13 @@ class NetBackend(Driver):
                 self._fill_rx_ring()
                 continue
             self.rx_forwarded += 1
+            if self.flows.enabled:
+                flow = self.flows.peek(addr)
+                if flow is not None:
+                    fe_link = self._links.get(fe_name)
+                    depth = (getattr(fe_link.tx, "pending", None)
+                             if fe_link is not None else None)
+                    flow.stage("chan.be2fe", depth=depth)
             cost += self._send_to_frontend(
                 fe_name, NetMessage(OP_RX, completion.length, ip, addr)
             )

@@ -29,6 +29,7 @@ from ...host.host import Host, MemDomain
 from ...host.instance import Instance
 from ...mem.layout import Region, RegionAllocator
 from ...net.packet import Frame
+from ...obs.flow import NULL_FLOWS
 from ...sim.core import NSEC, USEC, Simulator
 from ..engine import Driver
 from .messages import OP_RX, OP_RX_COMP, OP_TX, OP_TX_COMP, NetMessage
@@ -76,6 +77,8 @@ class VirtualNIC:
 
 class NetFrontend(Driver):
     """One frontend driver per host, on a dedicated busy-polling core."""
+
+    flows = NULL_FLOWS
 
     def __init__(
         self,
@@ -154,12 +157,23 @@ class NetFrontend(Driver):
             record.tx_dropped += 1
             self.tx_no_buffer += 1
             return
+        if frame.meta:
+            flow = frame.meta.get("flow")
+            if flow is not None:
+                # The packed bytes drop frame identity; bridge the DMA/IPC
+                # boundary by parking the context under the buffer address.
+                flow.stage("inst.tx")
+                self.flows.stash(region.base, flow)
         store_ns = self.domain.cache.store(region.base, data, category="payload")
         delay = self.config.datapath.ipc_hop_us * USEC + store_ns * NSEC
         self.sim.schedule(delay, self._ipc_tx_arrive, instance.ip, region,
                           len(data), frame.wire_size)
 
     def _ipc_tx_arrive(self, ip: int, region: Region, packed: int, wire: int) -> None:
+        if self.flows.enabled:
+            flow = self.flows.peek(region.base)
+            if flow is not None:
+                flow.stage("fe.tx", depth=len(self._tx_queue))
         self._tx_queue.append((ip, region, packed, wire))
         self.kick()
 
@@ -196,6 +210,11 @@ class NetFrontend(Driver):
             cost += self.domain.cache.clwb_range(region.base, packed, category="payload")
             self._tx_pending[region.base] = (region, ip)
             message = NetMessage(OP_TX, packed, ip, region.base)
+            if self.flows.enabled:
+                flow = self.flows.peek(region.base)
+                if flow is not None:
+                    flow.stage("chan.fe2be",
+                               depth=getattr(record.primary.tx, "pending", None))
             per_link.setdefault(record.primary.name, []).append(message)
             cost += self.TX_ITEM_NS
             count += 1
@@ -258,6 +277,10 @@ class NetFrontend(Driver):
         entry = self._tx_pending.pop(message.buffer_addr, None)
         if entry is None:
             return 20.0
+        if self.flows.enabled:
+            # Drop any leftover stash entry before the buffer is recycled
+            # (the NIC pops it on the normal path; error completions don't).
+            self.flows.pop(message.buffer_addr)
         region, ip = entry
         record = self._records.get(ip)
         if record is not None:
@@ -287,6 +310,13 @@ class NetFrontend(Driver):
             self.rx_unknown_instance += 1
             return cost
         frame = Frame.unpack(data)
+        if self.flows.enabled:
+            # Pop, not peek: RX buffers are recycled, so a stale context must
+            # never greet the next packet landing at the same address.
+            flow = self.flows.pop(message.buffer_addr)
+            if flow is not None:
+                flow.stage("fe.rx")
+                frame.meta["flow"] = flow
         self.rx_delivered += 1
         self.sim.schedule(
             self.config.datapath.ipc_hop_us * USEC,

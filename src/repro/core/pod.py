@@ -41,7 +41,7 @@ from ..mem.cxl import CXLMemoryPool
 from ..net.endpoint import ExternalEndpoint
 from ..net.packet import make_ip, make_mac
 from ..net.switch import LearningSwitch
-from ..obs import MetricsRegistry, TelemetryScraper, Tracer, bindings
+from ..obs import FlowRegistry, MetricsRegistry, TelemetryScraper, Tracer, bindings
 from ..pcie.nic import SimNIC
 from ..sim.core import Simulator
 from ..sim.rng import RngFactory
@@ -96,10 +96,16 @@ class CXLPod:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(self.sim, enabled=False)
         self.scraper = TelemetryScraper(self.sim, self.metrics)
+        # Flow tracing starts disabled: instrumented hops pay a boolean/dict
+        # check until enable_flow_tracing() opts a run in.
+        self.flows = FlowRegistry(self.sim, enabled=False)
+        self.flows.tracer = self.tracer
         self.allocator.tracer = self.tracer
         bindings.bind_pool(self.metrics, self.pool)
         bindings.bind_switch(self.metrics, self.switch)
         bindings.bind_allocator(self.metrics, self.allocator)
+        bindings.bind_tracer(self.metrics, self.tracer)
+        bindings.bind_flows(self.metrics, self.flows)
 
     # -- topology ------------------------------------------------------------------
 
@@ -120,6 +126,7 @@ class CXLPod:
                                f"tx-{host.name}-local")
         frontend = NetFrontend(self.sim, host, buffer_domain, tx_region,
                                self.arp, self.config)
+        frontend.flows = self.flows
         frontend.on_unregister = self._on_migration_unregister
         self.frontends[host.name] = frontend
         self.allocator.register_frontend(host.name, frontend)
@@ -162,6 +169,8 @@ class CXLPod:
         backend.control = AllocatorClient(self.sim, self.allocator)
         nic.tracer = self.tracer
         backend.tracer = self.tracer
+        nic.flows = self.flows
+        backend.flows = self.flows
         bindings.bind_nic(self.metrics, nic)
         bindings.bind_driver(self.metrics, backend)
         self.backends[nic.name] = backend
@@ -261,6 +270,8 @@ class CXLPod:
         backend.control = AllocatorClient(self.sim, self.allocator,
                                           storage=True)
         ssd.tracer = self.tracer
+        ssd.flows = self.flows
+        backend.flows = self.flows
         bindings.bind_ssd(self.metrics, ssd)
         bindings.bind_driver(self.metrics, backend)
         self.allocator.register_storage_backend(
@@ -283,6 +294,7 @@ class CXLPod:
 
                 region = Region(12 << 30, 256 << 20, f"sbuf-{host.name}-local")
             frontend = StorageFrontend(self.sim, host, domain, region, self.config)
+            frontend.flows = self.flows
             frontend.start()
             bindings.bind_driver(self.metrics, frontend)
             self.storage_frontends[host.name] = frontend
@@ -383,6 +395,13 @@ class CXLPod:
         self.tracer.categories = (set(categories) if categories is not None
                                   else None)
         return self.tracer
+
+    def enable_flow_tracing(self, max_records: int = 100_000) -> FlowRegistry:
+        """Turn on end-to-end flow tracing: every request started with the
+        pod's registry yields a record attributing its latency across hops."""
+        self.flows.enabled = True
+        self.flows.max_records = max_records
+        return self.flows
 
     def start_telemetry(self, period_s: Optional[float] = None) -> TelemetryScraper:
         """Start sampling the metrics registry at ``period_s`` of sim time."""

@@ -20,6 +20,7 @@ from typing import Dict, Optional
 from ...config import OasisConfig
 from ...errors import ChannelFullError, DeviceError, DeviceFailedError
 from ...host.host import Host
+from ...obs.flow import NULL_FLOWS
 from ...pcie.queues import Completion, NVMeCommand
 from ...pcie.ssd import NVME_STATUS_FAILED, SimSSD
 from ...sim.core import Simulator
@@ -33,6 +34,7 @@ class StorageBackend(Driver):
     """One backend driver per pooled SSD."""
 
     ITEM_NS = 150.0
+    flows = NULL_FLOWS
 
     def __init__(
         self,
@@ -62,6 +64,10 @@ class StorageBackend(Driver):
     # -- SSD callback ----------------------------------------------------------
 
     def _on_ssd_completion(self, completion: Completion) -> None:
+        if self.flows.enabled:
+            flow = self.flows.peek(completion.descriptor.addr)
+            if flow is not None:
+                flow.stage("sbe.comp", depth=len(self._completions))
         self._completions.append(completion)
         self.kick()
 
@@ -85,6 +91,10 @@ class StorageBackend(Driver):
     def _handle_request(self, fe_name: str, message: StorageMessage) -> float:
         if message.opcode not in (SOP_READ, SOP_WRITE):
             return 20.0
+        if self.flows.enabled:
+            flow = self.flows.peek(message.buffer_addr)
+            if flow is not None:
+                flow.stage("sbe.submit", depth=len(self.ssd.sq))
         self._inflight[message.cid] = fe_name
         command = NVMeCommand(
             opcode=message.opcode,  # SOP_READ/WRITE mirror NVMe opcodes
@@ -156,6 +166,11 @@ class StorageBackend(Driver):
     def _send_completion(self, fe_name: str, request: StorageMessage,
                          status: int) -> None:
         tx, _ = self._links[fe_name]
+        if self.flows.enabled:
+            flow = self.flows.peek(request.buffer_addr)
+            if flow is not None:
+                flow.stage("chan.sbe2sfe",
+                           depth=getattr(tx, "pending", None))
         completion = StorageMessage(
             SOP_COMPLETION, request.cid, request.slba, request.nlb,
             request.buffer_addr, request.instance_ip, status=status,

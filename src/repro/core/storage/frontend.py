@@ -17,6 +17,7 @@ from ...config import OasisConfig
 from ...errors import AllocationError, ChannelFullError, DeviceFailedError
 from ...host.host import Host, MemDomain
 from ...mem.layout import Region, RegionAllocator
+from ...obs.flow import NULL_FLOWS
 from ...sim.core import NSEC, USEC, Simulator
 from ..engine import Driver
 from .messages import SOP_COMPLETION, SOP_READ, SOP_WRITE, StorageMessage
@@ -35,20 +36,22 @@ class VirtualBlockDevice:
         self.block_size = block_size
 
     def read(self, lba: int, nblocks: int,
-             callback: Callable[[int, bytes], None]) -> int:
+             callback: Callable[[int, bytes], None], flow=None) -> int:
         """Async read; ``callback(status, data)`` fires on completion."""
-        return self.frontend.submit_read(self, lba, nblocks, callback)
+        return self.frontend.submit_read(self, lba, nblocks, callback,
+                                         flow=flow)
 
     def write(self, lba: int, data: bytes,
-              callback: Callable[[int], None]) -> int:
+              callback: Callable[[int], None], flow=None) -> int:
         """Async write; ``callback(status)`` fires on completion."""
-        return self.frontend.submit_write(self, lba, data, callback)
+        return self.frontend.submit_write(self, lba, data, callback, flow=flow)
 
 
 class StorageFrontend(Driver):
     """One storage frontend per host, on its own busy-polling core."""
 
     ITEM_NS = 180.0
+    flows = NULL_FLOWS
 
     def __init__(
         self,
@@ -88,11 +91,14 @@ class StorageFrontend(Driver):
         return cid
 
     def submit_write(self, device: VirtualBlockDevice, lba: int, data: bytes,
-                     callback: Callable[[int], None]) -> int:
+                     callback: Callable[[int], None], flow=None) -> int:
         if len(data) % device.block_size:
             raise AllocationError("write size must be a multiple of block size")
         nlb = len(data) // device.block_size
         region = self._space.alloc(len(data), "wbuf")
+        if flow is not None:
+            flow.stage("sfe.submit", depth=len(self._pending))
+            self.flows.stash(region.base, flow)
         store_ns = self.domain.cache.store(region.base, data, category="payload")
         store_ns += self.domain.cache.clwb_range(region.base, len(data),
                                                  category="payload")
@@ -110,8 +116,11 @@ class StorageFrontend(Driver):
         return cid
 
     def submit_read(self, device: VirtualBlockDevice, lba: int, nblocks: int,
-                    callback: Callable[[int, bytes], None]) -> int:
+                    callback: Callable[[int, bytes], None], flow=None) -> int:
         region = self._space.alloc(nblocks * device.block_size, "rbuf")
+        if flow is not None:
+            flow.stage("sfe.submit", depth=len(self._pending))
+            self.flows.stash(region.base, flow)
         # The region may have been a recycled write buffer whose (clean)
         # lines are still in our cache; the SSD's DMA write on the remote
         # host will not snoop them (§3.2.1).  Invalidate before posting so
@@ -132,6 +141,11 @@ class StorageFrontend(Driver):
 
     def _enqueue(self, backend_name: str, message: StorageMessage) -> None:
         tx, _ = self._links[backend_name]
+        if self.flows.enabled:
+            flow = self.flows.peek(message.buffer_addr)
+            if flow is not None:
+                flow.stage("chan.sfe2sbe",
+                           depth=getattr(tx, "pending", None))
         try:
             tx.send(message.pack())
         except ChannelFullError:
@@ -158,6 +172,11 @@ class StorageFrontend(Driver):
             return 20.0
         cost = self.ITEM_NS
         region: Region = state["region"]
+        if self.flows.enabled:
+            # Pop: the buffer region is freed below and will be recycled.
+            flow = self.flows.pop(region.base)
+            if flow is not None:
+                flow.stage("sfe.comp")
         if state["op"] == SOP_READ and message.status == 0:
             # Copy the data out of shared memory, then invalidate the lines.
             data, load_ns = self.domain.cache.load(region.base, state["nbytes"],

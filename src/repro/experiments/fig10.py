@@ -24,9 +24,11 @@ def run_echo(mode: str, packet_size: int, rate_pps: float,
     """One echo cell; returns RTT percentiles in us."""
     remote = mode == "oasis"
     pod, inst, client_ep, _ = build_echo_pod(mode, remote=remote)
+    # The pod's flow registry is wired in but stays disabled, so this path
+    # doubles as the benchmark for flow tracing's off-mode overhead.
     client = EchoClient(pod.sim, client_ep, SERVER_IP,
                         packet_size=packet_size, rate_pps=rate_pps,
-                        metrics=pod.metrics)
+                        metrics=pod.metrics, flows=pod.flows)
     client.start(duration_s)
     pod.run(duration_s + 0.02)
     pod.stop()

@@ -11,10 +11,11 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..analysis.report import render_table
+from ..analysis.stats import summarize_latencies
 from .common import scale
 from .fig10 import ECHO_LOADS_PPS, PACKET_SIZES, run_echo
 
-__all__ = ["run", "main", "MODES"]
+__all__ = ["run", "run_attribution", "main", "MODES"]
 
 MODES = ("local", "local-cxl-buffers", "oasis")
 
@@ -33,6 +34,59 @@ def run(
             results[size][load_name] = {
                 mode: run_echo(mode, size, pps, duration) for mode in MODES
             }
+    return results
+
+
+def run_attribution(packet_size: int = 75, rate_pps: float = 20_000.0,
+                    duration_s: Optional[float] = None) -> dict:
+    """Cross-check the Fig 11 breakdown against flow-derived attribution.
+
+    Fig 11 infers the messaging cost *indirectly*, by differencing mode-level
+    p50s.  Flow tracing measures it *directly*: every request's RTT is
+    decomposed into named stage segments, so the extra time Oasis spends in
+    the fe<->be message channels (``chan.*`` stages, doorbell hops instead of
+    local queues) should account for essentially all of the inferred
+    messaging cost.  Returns per-mode stage p50s plus the derived comparison.
+    """
+    from ..workloads.echo import EchoClient
+    from .common import SERVER_IP, build_echo_pod
+
+    duration = duration_s if duration_s is not None else 0.1 * scale()
+    results: Dict = {}
+    for mode in MODES:
+        pod, inst, client_ep, _ = build_echo_pod(mode, remote=(mode == "oasis"))
+        pod.enable_flow_tracing()
+        client = EchoClient(pod.sim, client_ep, SERVER_IP,
+                            packet_size=packet_size, rate_pps=rate_pps,
+                            metrics=pod.metrics, flows=pod.flows)
+        client.start(duration)
+        pod.run(duration + 0.02)
+        pod.stop()
+        attribution = pod.flows.attribution
+        results[mode] = {
+            "rtt_p50_us": summarize_latencies(
+                client.rtt_hist.observations)["p50"],
+            "flow_p50_us": attribution.total_percentile(50),
+            "stage_p50_us": attribution.stage_p50s(),
+            "flows": pod.flows.completed,
+            "conservation_violations": len(pod.flows.check_conservation()),
+        }
+
+    def channel_us(mode: str) -> float:
+        return sum(v for stage, v in results[mode]["stage_p50_us"].items()
+                   if stage.startswith("chan."))
+
+    messaging = (results["oasis"]["flow_p50_us"]
+                 - results["local-cxl-buffers"]["flow_p50_us"])
+    channel_delta = channel_us("oasis") - channel_us("local-cxl-buffers")
+    results["derived"] = {
+        "buffer_cost_us": (results["local-cxl-buffers"]["flow_p50_us"]
+                           - results["local"]["flow_p50_us"]),
+        "messaging_cost_us": messaging,
+        "channel_stage_delta_us": channel_delta,
+        "channel_share_of_messaging": (channel_delta / messaging
+                                       if messaging else float("nan")),
+    }
     return results
 
 
@@ -56,6 +110,29 @@ def main() -> dict:
               "messaging dominates)",
         digits=2,
     ))
+
+    attr = run_attribution()
+    stage_rows = []
+    for mode in MODES:
+        cell = attr[mode]
+        chan_us = sum(v for stage, v in cell["stage_p50_us"].items()
+                      if stage.startswith("chan."))
+        stage_rows.append((mode, cell["rtt_p50_us"], cell["flow_p50_us"],
+                           chan_us, cell["conservation_violations"]))
+    derived = attr["derived"]
+    print()
+    print(render_table(
+        ["mode", "rtt p50", "flow p50", "chan stages p50", "violations"],
+        stage_rows,
+        title="Flow-derived attribution cross-check (per-stage decomposition "
+              "of the same RTTs)",
+        digits=2,
+    ))
+    print(f"\nmessaging cost {derived['messaging_cost_us']:.2f} us vs "
+          f"channel-stage delta {derived['channel_stage_delta_us']:.2f} us "
+          f"({derived['channel_share_of_messaging']:.0%} attributed to "
+          f"fe<->be channels)")
+    results["attribution"] = attr
     return results
 
 

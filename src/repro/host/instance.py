@@ -86,6 +86,10 @@ class Instance:
 
     def deliver_frame(self, frame: Frame) -> None:
         """Called by the frontend driver when an RX packet reaches us."""
+        if frame.meta:
+            flow = frame.meta.get("flow")
+            if flow is not None:
+                flow.stage("app")
         self.rx_frames += 1
         for handler in self._handlers:
             handler(frame)

@@ -58,6 +58,10 @@ class ExternalEndpoint:
         self._handlers.append(handler)
 
     def _on_wire_rx(self, frame: Frame) -> None:
+        if frame.meta:
+            flow = frame.meta.get("flow")
+            if flow is not None:
+                flow.stage("client.rx")
         self.rx_frames += 1
         self.sim.schedule(self.stack_latency, self._dispatch, frame)
 

@@ -130,7 +130,11 @@ class Frame:
         return HEADER_SIZE + len(self.payload)
 
     def reply_template(self, **overrides) -> "Frame":
-        """A frame going back to this frame's sender (addresses swapped)."""
+        """A frame going back to this frame's sender (addresses swapped).
+
+        The request's flow context (if any) carries over so the reply leg is
+        attributed to the same end-to-end flow record.
+        """
         fields = dict(
             dst_mac=self.src_mac,
             src_mac=self.dst_mac,
@@ -143,4 +147,9 @@ class Frame:
             wire_size=self.wire_size,
         )
         fields.update(overrides)
-        return Frame(**fields)
+        reply = Frame(**fields)
+        if self.meta:
+            flow = self.meta.get("flow")
+            if flow is not None:
+                reply.meta["flow"] = flow
+        return reply

@@ -63,6 +63,10 @@ class SwitchPort:
             self.dropped_frames += 1
             return
         sim = self.switch.sim
+        if frame.meta:
+            flow = frame.meta.get("flow")
+            if flow is not None:
+                flow.stage("switch.wire")
         start = max(sim.now, self._busy_until)
         serialize = frame.wire_size / self.rate
         self._busy_until = start + serialize

@@ -6,11 +6,25 @@
   clock with Chrome-trace/Perfetto JSON export (:class:`Tracer`).
 * :mod:`repro.obs.scraper` -- a sim-time process sampling the registry into
   time-series buffers (:class:`TelemetryScraper`).
+* :mod:`repro.obs.flow` -- end-to-end per-request flow tracing: a
+  :class:`FlowContext` rides each request through every hop, yielding
+  latency records whose stage segments sum to the end-to-end total.
+* :mod:`repro.obs.attribution` -- the bottleneck profiler on top of flow
+  records: streaming per-stage percentiles, queueing-vs-service splits,
+  critical-path summaries and SLO checks.
 * :mod:`repro.obs.bindings` -- collectors that expose the pre-existing
   ad-hoc counter classes (``LinkStats``, ``CacheStats``, ...) through the
   registry without mutating them.
 """
 
+from .attribution import (
+    FlowAttribution,
+    SLOChecker,
+    SLOViolation,
+    critical_path,
+    render_waterfall,
+)
+from .flow import NULL_FLOWS, FlowContext, FlowRecord, FlowRegistry, FlowSegment
 from .metrics import (
     Counter,
     Gauge,
@@ -36,5 +50,15 @@ __all__ = [
     "Tracer",
     "TraceEvent",
     "NULL_TRACER",
+    "FlowContext",
+    "FlowSegment",
+    "FlowRecord",
+    "FlowRegistry",
+    "NULL_FLOWS",
+    "FlowAttribution",
+    "SLOChecker",
+    "SLOViolation",
+    "critical_path",
+    "render_waterfall",
     "bindings",
 ]

@@ -46,6 +46,8 @@ __all__ = [
     "bind_driver",
     "bind_allocator",
     "bind_raft_node",
+    "bind_tracer",
+    "bind_flows",
     "CACHE_OP_FIELDS",
     "CHANNEL_OP_FIELDS",
 ]
@@ -223,6 +225,29 @@ def bind_allocator(registry: MetricsRegistry, allocator) -> None:
         for device in allocator.storage_devices.values():
             yield _sample("allocator_device_allocated", device.allocated,
                           device=device.name, kind="ssd")
+
+    registry.register_collector(collect)
+
+
+def bind_tracer(registry: MetricsRegistry, tracer) -> None:
+    """Export the tracer's recording health (recorded vs silently dropped)."""
+
+    def collect():
+        yield _sample("tracer_events_recorded", len(tracer.events))
+        yield _sample("tracer_events_dropped", tracer.dropped)
+
+    registry.register_collector(collect)
+
+
+def bind_flows(registry: MetricsRegistry, flows) -> None:
+    """Export a :class:`~repro.obs.flow.FlowRegistry`'s bookkeeping."""
+
+    def collect():
+        yield _sample("flow_started", flows.started)
+        yield _sample("flow_completed", flows.completed)
+        yield _sample("flow_records_dropped", flows.dropped_records)
+        yield _sample("flow_stash_evicted", flows.stash_evicted)
+        yield _sample("flow_stash_open", len(flows._stash))
 
     registry.register_collector(collect)
 

@@ -1,22 +1,32 @@
-"""``python -m repro report`` / ``python -m repro trace``.
+"""``python -m repro report`` / ``python -m repro trace`` / ``python -m repro flows``.
 
 ``report`` runs a short echo workload on a two-host pod with telemetry
 scraping enabled and prints registry-backed summaries: pod-wide CXL link
 traffic by category, NIC/channel/cache activity, and the scraped bandwidth
-time series.
+time series.  ``report --json`` emits the full registry snapshot as
+machine-readable JSON instead, so benchmarks and CI can diff runs.
 
 ``trace`` runs the Figure 13 failover scenario with the tracer recording the
 failover phases, exports Chrome-trace JSON (loadable in ``chrome://tracing``
 or Perfetto) and prints the phase breakdown plus a plain-text timeline.
+
+``flows`` runs the UDP echo workload with end-to-end flow tracing enabled and
+prints the bottleneck profile: the per-stage attribution table (p50/p99/p999,
+queue share), the critical path per latency percentile bucket, a waterfall of
+the slowest request, and the top-N slowest flows.  ``flows <out.json>``
+additionally exports a Chrome trace whose flow arrows follow each request
+across components in Perfetto.
 """
 
 from __future__ import annotations
 
+import json
 from typing import Optional
 
 from ..analysis.report import render_series, render_table
 
-__all__ = ["report", "trace", "main_report", "main_trace"]
+__all__ = ["report", "trace", "flows", "main_report", "main_trace",
+           "main_flows"]
 
 
 def report(duration_s: float = 0.3, rate_pps: float = 20_000.0,
@@ -45,9 +55,24 @@ def report(duration_s: float = 0.3, rate_pps: float = 20_000.0,
     }
 
 
-def main_report() -> dict:
+def snapshot_json(snapshot) -> dict:
+    """A machine-readable rendering of a :class:`MetricsSnapshot`."""
+    return {
+        "time": snapshot.time,
+        "samples": [
+            {"name": name, "labels": dict(labels), "value": value}
+            for (name, labels), value in sorted(snapshot.values.items())
+        ],
+    }
+
+
+def main_report(as_json: bool = False) -> dict:
     data = report()
     snapshot = data["snapshot"]
+
+    if as_json:
+        print(json.dumps(snapshot_json(snapshot), indent=1))
+        return data
 
     by_cat = snapshot.aggregate("cxl_link_bytes", by=("category",))
     print(render_table(
@@ -119,6 +144,14 @@ def main_report() -> dict:
     print(f"\n{len(scraper)} snapshots scraped, "
           f"{data['pod'].metrics.collector_count} collectors, "
           f"{len(snapshot)} samples in the last snapshot")
+    tracer = data["pod"].tracer
+    recorded = int(snapshot.get("tracer_events_recorded"))
+    dropped = int(snapshot.get("tracer_events_dropped"))
+    line = f"tracer: {recorded} events recorded, {dropped} dropped"
+    if dropped:
+        line += (f" -- max_events={tracer.max_events} reached; raise it or "
+                 f"restrict categories to keep the tail")
+    print(line)
     return data
 
 
@@ -128,6 +161,82 @@ def trace(out_path: Optional[str] = "oasis-failover-trace.json") -> dict:
 
     return fig13.run(duration_s=1.2, rate_pps=3000.0, fail_at_s=0.602,
                      trace_path=out_path)
+
+
+def flows(duration_s: float = 0.1, rate_pps: float = 20_000.0,
+          packet_size: int = 256, mode: str = "oasis",
+          trace_path: Optional[str] = None) -> dict:
+    """Run the UDP echo workload with flow tracing; return the registry."""
+    from ..experiments.common import SERVER_IP, build_echo_pod
+    from ..workloads.echo import EchoClient
+
+    pod, inst, client_ep, nic0 = build_echo_pod(mode, remote=True)
+    pod.enable_flow_tracing()
+    if trace_path:
+        # Record only flow spans so the export stays small and arrow-dense.
+        pod.enable_tracing(categories={"flow"})
+    client = EchoClient(pod.sim, client_ep, SERVER_IP,
+                        packet_size=packet_size, rate_pps=rate_pps,
+                        metrics=pod.metrics, flows=pod.flows)
+    client.start(duration_s)
+    pod.run(duration_s + 0.02)
+    pod.stop()
+    trace_events = pod.tracer.export_chrome(trace_path) if trace_path else 0
+    return {
+        "pod": pod,
+        "flows": pod.flows,
+        "client": client,
+        "trace_events": trace_events,
+    }
+
+
+def main_flows(trace_path: Optional[str] = None, top_n: int = 5) -> dict:
+    from .attribution import critical_path, render_waterfall
+
+    data = flows(trace_path=trace_path)
+    registry = data["flows"]
+    attribution = registry.attribution
+
+    print(f"{registry.completed} flows completed "
+          f"({registry.started - registry.completed} still open), "
+          f"{len(registry.check_conservation())} conservation violations\n")
+
+    print(render_table(
+        ["stage", "flows", "p50 us", "p99 us", "p99.9 us", "avg depth",
+         "queue share"],
+        attribution.table(),
+        title="Per-stage latency attribution (UDP echo, oasis mode)",
+    ))
+    print()
+
+    print(render_table(
+        ["bucket", "flows", "mean total us", "dominant stage", "share"],
+        [(row["bucket"], row["flows"], round(row["mean_total_us"], 3),
+          row["dominant_stage"], round(row["dominant_share"], 3))
+         for row in critical_path(registry.records)],
+        title="Critical path by latency percentile bucket",
+    ))
+    print()
+
+    slowest = registry.top_slowest(top_n)
+    if slowest:
+        print("Slowest request waterfall:")
+        print(render_waterfall(slowest[0]))
+        print()
+        rows = []
+        for r in slowest:
+            stage, dur = max(r.by_stage().items(), key=lambda kv: kv[1])
+            rows.append((r.flow_id, r.kind, round(r.total_us, 3), stage,
+                         round(dur * 1e6, 3)))
+        print(render_table(
+            ["flow", "kind", "total us", "slowest stage", "stage us"],
+            rows, title=f"Top {len(slowest)} slowest flows",
+        ))
+    if trace_path:
+        print(f"\n{data['trace_events']} Chrome-trace records (with flow "
+              f"arrows) written to {trace_path} -- open in Perfetto and "
+              f"enable flow events to follow requests across tracks")
+    return data
 
 
 def main_trace(out_path: Optional[str] = "oasis-failover-trace.json") -> dict:

@@ -144,6 +144,12 @@ class Tracer:
         Timestamps and durations are virtual microseconds.  Each distinct
         track becomes a named thread under one "oasis-sim" process, so
         Perfetto/chrome://tracing lays events out per component.
+
+        Spans whose args carry ``flow_id``/``flow_step`` (emitted by
+        :class:`~repro.obs.flow.FlowRegistry`) additionally produce Chrome
+        flow-event records (``ph`` s/t/f sharing ``id=flow_id``), so the
+        viewer draws arrows connecting each request's stage spans along its
+        path through the pod.
         """
         tracks = sorted({e.track for e in self.events})
         tids = {track: i + 1 for i, track in enumerate(tracks)}
@@ -170,6 +176,20 @@ class Tracer:
                 record["ph"] = "i"
                 record["s"] = "t"    # instant scope: thread
             out.append(record)
+            flow_step = event.args.get("flow_step")
+            if flow_step in ("s", "t", "f") and "flow_id" in event.args:
+                arrow = {
+                    "name": f"flow-{event.args.get('kind', 'request')}",
+                    "cat": "flow",
+                    "ph": flow_step,
+                    "id": event.args["flow_id"],
+                    "ts": event.ts * 1e6,
+                    "pid": 1,
+                    "tid": tids[event.track],
+                }
+                if flow_step == "f":
+                    arrow["bp"] = "e"    # bind the arrow to the enclosing slice
+                out.append(arrow)
         return out
 
     def export_chrome(self, path: str) -> int:

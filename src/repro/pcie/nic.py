@@ -28,6 +28,7 @@ from ..config import NICConfig
 from ..errors import DeviceError
 from ..net.packet import Frame
 from ..net.switch import SwitchPort
+from ..obs.flow import NULL_FLOWS
 from ..obs.trace import NULL_TRACER
 from ..sim.core import Simulator
 from .device import PCIeDevice
@@ -40,6 +41,7 @@ class SimNIC(PCIeDevice):
     """A host-attached NIC pooled by the Oasis network engine."""
 
     tracer = NULL_TRACER
+    flows = NULL_FLOWS
 
     def __init__(
         self,
@@ -127,6 +129,14 @@ class SimNIC(PCIeDevice):
         data = self.host.dma_read(desc.addr, desc.length, category="payload",
                                   local=desc.local)
         frame = Frame.unpack(data)
+        if self.flows.enabled:
+            # The TX buffer address is the flow's bridge across pack()/DMA;
+            # pop it (the buffer is freed after completion) and ride the
+            # in-sim frame object from here to the wire.
+            flow = self.flows.pop(desc.addr)
+            if flow is not None:
+                flow.stage("nic.tx.dma")
+                frame.meta["flow"] = flow
         dma_s = self.config.dma_setup_ns * 1e-9 + self.host.link_transfer_delay(
             frame.wire_size, direction="read", local=desc.local)
         serialize_s = frame.wire_size / self.config.bytes_per_sec
@@ -188,6 +198,14 @@ class SimNIC(PCIeDevice):
                 f"capacity {desc.capacity} B"
             )
         tag = self.flow_table.get(frame.dst_ip)
+        if frame.meta:
+            flow = frame.meta.get("flow")
+            if flow is not None:
+                flow.stage("nic.rx.dma")
+                # The frame object dies here (only bytes land in the RX
+                # buffer); park the context under the buffer address for the
+                # backend/frontend to pick up.
+                self.flows.stash(desc.addr, flow)
         # DMA write into the RX buffer area (bypassing CPU caches), then
         # complete after the CXL link transfer.
         self.host.dma_write(desc.addr, data, category="payload", local=desc.local,

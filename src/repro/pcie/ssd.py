@@ -17,6 +17,7 @@ from typing import Callable, Dict, Optional
 
 from ..config import SSDConfig
 from ..errors import DeviceError
+from ..obs.flow import NULL_FLOWS
 from ..obs.trace import NULL_TRACER
 from ..sim.core import Simulator, USEC
 from .device import PCIeDevice
@@ -35,6 +36,7 @@ class SimSSD(PCIeDevice):
     """A host-attached NVMe SSD pooled by the Oasis storage engine."""
 
     tracer = NULL_TRACER
+    flows = NULL_FLOWS
 
     def __init__(
         self,
@@ -80,6 +82,10 @@ class SimSSD(PCIeDevice):
         if cmd.nlb <= 0 or cmd.slba < 0 or cmd.slba + cmd.nlb > self.num_blocks:
             self._complete(cmd, NVME_STATUS_LBA_RANGE, 0.0)
             return
+        if self.flows.enabled:
+            flow = self.flows.peek(cmd.addr)
+            if flow is not None:
+                flow.stage("ssd.media", depth=len(self.sq))
         nbytes = cmd.nlb * self.config.block_size
         if cmd.opcode == NVME_OP_WRITE:
             media_us = self.config.write_latency_us

@@ -16,6 +16,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..analysis.stats import summarize_latencies
+from ..obs.flow import NULL_FLOWS
 from ..sim.core import Simulator, USEC
 
 __all__ = ["BlockWorkload", "BlockWorkloadStats"]
@@ -56,6 +57,7 @@ class BlockWorkload:
         address_blocks: int = 4096,
         queue_depth: int = 64,
         rng: Optional[np.random.Generator] = None,
+        flows=None,
     ):
         self.sim = sim
         self.device = device
@@ -66,6 +68,7 @@ class BlockWorkload:
         self.queue_depth = queue_depth
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.stats = BlockWorkloadStats()
+        self.flows = flows if flows is not None else NULL_FLOWS
         self._inflight = 0
         self._stopped = True
         self._write_payload = bytes(io_blocks * device.block_size)
@@ -94,17 +97,26 @@ class BlockWorkload:
         self._inflight += 1
         self.stats.submitted += 1
         if self.rng.random() < self.read_fraction:
+            flow = self.flows.start("blockio", origin="blockio", stage="issue",
+                                    op="read", lba=lba)
             self.device.read(lba, self.io_blocks,
-                             lambda status, data, s=start:
-                             self._complete(status, s, is_read=True))
+                             lambda status, data, s=start, f=flow:
+                             self._complete(status, s, is_read=True, flow=f),
+                             flow=flow)
         else:
+            flow = self.flows.start("blockio", origin="blockio", stage="issue",
+                                    op="write", lba=lba)
             self.device.write(lba, self._write_payload,
-                              lambda status, s=start:
-                              self._complete(status, s, is_read=False))
+                              lambda status, s=start, f=flow:
+                              self._complete(status, s, is_read=False, flow=f),
+                              flow=flow)
 
-    def _complete(self, status: int, started: float, is_read: bool) -> None:
+    def _complete(self, status: int, started: float, is_read: bool,
+                  flow=None) -> None:
         self._inflight -= 1
         self.stats.completed += 1
+        if flow is not None:
+            self.flows.complete(flow, status="ok" if status == 0 else "error")
         if status != 0:
             self.stats.errors += 1
             return

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..net.packet import Frame
 from ..net.transport import UdpSocket
+from ..obs.flow import NULL_FLOWS
 from ..sim.core import Simulator, USEC
 
 __all__ = ["EchoServer", "EchoClient", "EchoStats"]
@@ -87,6 +88,7 @@ class EchoClient:
         rng: Optional[np.random.Generator] = None,
         poisson: bool = False,
         metrics=None,
+        flows=None,
         name: str = "echo-client",
     ):
         self.sim = sim
@@ -110,6 +112,9 @@ class EchoClient:
                 "echo_rtt_us", help="UDP echo round-trip time (us)",
                 keep_raw=True, client=name,
             )
+        # When a pod's FlowRegistry is passed in (and enabled), every echo
+        # becomes an end-to-end flow record attributing its RTT across hops.
+        self.flows = flows if flows is not None else NULL_FLOWS
         self._send_time: Dict[int, float] = {}
         self._next_seq = 0
         self._task = None
@@ -149,14 +154,22 @@ class EchoClient:
         self._send_time[seq] = self.sim.now
         self.stats.sent += 1
         self.stats.send_times.append(self.sim.now)
-        self.sock.sendto(payload, self.server_ip, self.server_port,
-                         wire_size=self.packet_size, seq=seq)
+        frame = self.sock.sendto(payload, self.server_ip, self.server_port,
+                                 wire_size=self.packet_size, seq=seq)
+        flow = self.flows.start("echo", origin=self.name, stage="client.tx",
+                                seq=seq)
+        if flow is not None:
+            frame.meta["flow"] = flow
         self._schedule_next()
 
     def _on_reply(self, frame: Frame) -> None:
         sent_at = self._send_time.pop(frame.seq, None)
         if sent_at is None:
             return
+        if frame.meta:
+            flow = frame.meta.get("flow")
+            if flow is not None:
+                self.flows.complete(flow)
         self.stats.received += 1
         rtt_us = (self.sim.now - sent_at) / USEC
         self.stats.latencies_us.append(rtt_us)

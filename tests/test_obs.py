@@ -169,6 +169,51 @@ class TestScraper:
         sim.run(until=40 * MSEC)
         assert scraper.samples_taken == taken
 
+    def test_sample_now_respects_buffer_bound(self):
+        sim = Simulator()
+        reg = MetricsRegistry()
+        reg.counter("ops").inc()
+        scraper = TelemetryScraper(sim, reg, period_s=MSEC, max_snapshots=3)
+        for _ in range(10):
+            snapshot = scraper.sample_now()
+        assert len(scraper) == 3
+        # Out-of-band sampling still returns a live snapshot past the cap.
+        assert snapshot.get("ops") == 1.0
+
+
+class TestHistogramPercentiles:
+    def _hist(self):
+        from repro.obs.metrics import Histogram, labels_key
+
+        return Histogram("lat_us", labels_key({}), help="test",
+                         buckets=(1.0, 10.0, float("inf")), keep_raw=True)
+
+    def test_empty_is_nan(self):
+        from repro.obs.attribution import _percentile
+
+        hist = self._hist()
+        for q in (0.0, 50.0, 99.9):
+            assert np.isnan(_percentile(hist, q))
+
+    def test_single_sample_is_that_sample(self):
+        from repro.obs.attribution import _percentile
+
+        hist = self._hist()
+        hist.observe(4.2)
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert _percentile(hist, q) == pytest.approx(4.2)
+
+    def test_all_equal_samples_collapse(self):
+        from repro.obs.attribution import _percentile
+
+        hist = self._hist()
+        for _ in range(100):
+            hist.observe(7.0)
+        for q in (50.0, 99.0, 99.9):
+            assert _percentile(hist, q) == pytest.approx(7.0)
+        assert hist.count == 100
+        assert hist.mean == pytest.approx(7.0)
+
 
 class TestTracer:
     def test_span_and_instant_recording(self):

@@ -34,7 +34,8 @@ def main(argv=None) -> int:
         print("usage: python -m repro <experiment ...|all>")
         print("       python -m repro report [--json]")
         print("       python -m repro trace [out.json]")
-        print("       python -m repro flows [out.json]\n")
+        print("       python -m repro flows [out.json]")
+        print("       python -m repro chaos [--seed N] [--plan plan.json]\n")
         print("experiments:")
         for name, (title, _) in by_name.items():
             print(f"  {name:<8} {title}")
@@ -42,6 +43,7 @@ def main(argv=None) -> int:
         print("  report   registry-backed metrics summary of an echo run")
         print("  trace    failover run exported as Chrome-trace JSON")
         print("  flows    per-request latency attribution (bottleneck profile)")
+        print("  chaos    deterministic fault injection with invariant checks")
         return 0
     if argv[0] == "report":
         from .obs.cli import main_report
@@ -58,6 +60,10 @@ def main(argv=None) -> int:
 
         main_flows(argv[1] if len(argv) > 1 else None)
         return 0
+    if argv[0] == "chaos":
+        from .faults.chaos import main_chaos
+
+        return main_chaos(argv[1:])
     if argv == ["all"]:
         runner.main()
         return 0

@@ -35,6 +35,7 @@ __all__ = [
     "DatapathConfig",
     "FailoverConfig",
     "TransportConfig",
+    "RetryConfig",
     "HostConfig",
     "OasisConfig",
     "CACHE_LINE",
@@ -228,6 +229,35 @@ class TransportConfig:
 
 
 @dataclass(frozen=True)
+class RetryConfig:
+    """Datapath retry/timeout/backoff under device faults (fault injection).
+
+    The storage frontend re-submits requests that time out or complete with a
+    transient device error (media error, queue-full, drive momentarily dead),
+    backing off exponentially; after ``storage_max_retries`` the error is
+    surfaced to the guest instead of hanging.  The network backend re-posts
+    TX descriptors whose DMA was aborted mid-transfer.
+    """
+
+    storage_max_retries: int = 3
+    storage_timeout_ms: float = 25.0    # per-attempt request deadline
+    storage_backoff_ms: float = 1.0     # first retry delay
+    storage_backoff_mult: float = 2.0   # exponential backoff factor
+    tx_max_retries: int = 3
+    tx_retry_backoff_us: float = 50.0   # first TX repost delay
+
+    def validate(self) -> None:
+        if self.storage_max_retries < 0 or self.tx_max_retries < 0:
+            raise ConfigError("retry counts must be >= 0")
+        if self.storage_timeout_ms <= 0:
+            raise ConfigError("storage_timeout_ms must be positive")
+        if self.storage_backoff_ms < 0 or self.tx_retry_backoff_us < 0:
+            raise ConfigError("backoff delays must be >= 0")
+        if self.storage_backoff_mult < 1.0:
+            raise ConfigError("storage_backoff_mult must be >= 1")
+
+
+@dataclass(frozen=True)
 class HostConfig:
     """Per-host resource capacities used by the allocation/stranding study."""
 
@@ -251,6 +281,7 @@ class OasisConfig:
     datapath: DatapathConfig = field(default_factory=DatapathConfig)
     failover: FailoverConfig = field(default_factory=FailoverConfig)
     transport: TransportConfig = field(default_factory=TransportConfig)
+    retry: RetryConfig = field(default_factory=RetryConfig)
     host: HostConfig = field(default_factory=HostConfig)
     seed: int = 42
 
@@ -261,6 +292,7 @@ class OasisConfig:
         self.datapath.validate()
         self.failover.validate()
         self.transport.validate()
+        self.retry.validate()
         self.host.validate()
         return self
 

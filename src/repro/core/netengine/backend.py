@@ -26,7 +26,7 @@ from ...mem.layout import FixedPool, Region
 from ...net.packet import BROADCAST_MAC, Frame
 from ...obs.flow import NULL_FLOWS
 from ...obs.trace import NULL_TRACER
-from ...pcie.nic import SimNIC
+from ...pcie.nic import TX_STATUS_DMA_ABORT, SimNIC
 from ...pcie.queues import Completion, RxDescriptor, TxDescriptor
 from ...sim.core import MSEC, Simulator
 from ..engine import Driver
@@ -89,6 +89,8 @@ class NetBackend(Driver):
         self.rx_forwarded = 0
         self.rx_fallback_inspections = 0
         self.rx_dropped_unknown = 0
+        self.tx_retries = 0       # DMA-aborted descriptors reposted
+        self.tx_giveups = 0       # aborted descriptors surfaced as errors
 
         nic.on_tx_complete = self._on_nic_tx_comp
         nic.on_rx = self._on_nic_rx
@@ -247,7 +249,22 @@ class NetBackend(Driver):
         while self._tx_comps:
             items += 1
             completion = self._tx_comps.popleft()
-            message, fe_name = completion.descriptor.cookie
+            descriptor = completion.descriptor
+            if (completion.status == TX_STATUS_DMA_ABORT
+                    and descriptor.retries < self.config.retry.tx_max_retries):
+                # A DMA abort left the buffer untouched and owned by us:
+                # repost the same WQE after a short backoff instead of
+                # surfacing a loss to the frontend.
+                descriptor.retries += 1
+                self.tx_retries += 1
+                backoff_s = (self.config.retry.tx_retry_backoff_us * 1e-6
+                             * 2 ** (descriptor.retries - 1))
+                self.sim.schedule(backoff_s, self._repost_tx, descriptor)
+                cost += self.COMP_ITEM_NS
+                continue
+            if completion.status == TX_STATUS_DMA_ABORT:
+                self.tx_giveups += 1
+            message, fe_name = descriptor.cookie
             cost += self.COMP_ITEM_NS
             cost += self._send_to_frontend(
                 fe_name,
@@ -255,6 +272,20 @@ class NetBackend(Driver):
                            message.buffer_addr),
             )
         return items, cost
+
+    def _repost_tx(self, descriptor: TxDescriptor) -> None:
+        """Repost a DMA-aborted WQE (or give the buffer back if the NIC died)."""
+        if self.nic.failed:
+            message, fe_name = descriptor.cookie
+            self.tx_giveups += 1
+            self._send_to_frontend(
+                fe_name,
+                NetMessage(OP_TX_COMP, message.size, message.instance_ip,
+                           message.buffer_addr),
+            )
+            return
+        self._tx_pending.append(descriptor)
+        self.kick()
 
     def _process_rx_comps(self) -> tuple:
         cost = 0.0

@@ -385,6 +385,35 @@ class CXLPod:
     def fail_nic(self, nic: SimNIC) -> None:
         nic.fail()
 
+    def inject_faults(self, plan):
+        """Arm a :class:`~repro.faults.plan.FaultPlan` against this pod.
+
+        Resolves the plan's fault times through the pod's seeded RNG, wires
+        the injector's event counters into the metrics registry, and returns
+        the armed :class:`~repro.faults.injector.FaultInjector`.
+        """
+        from ..faults.injector import FaultInjector
+
+        injector = FaultInjector(self, plan)
+        injector.arm()
+        bindings.bind_injector(self.metrics, injector)
+        self.fault_injector = injector
+        return injector
+
+    def check_invariants(self, interval_s: Optional[float] = None):
+        """Install the chaos invariant probes; returns the checker.
+
+        With ``interval_s`` the continuous invariants are also re-evaluated
+        periodically; call ``finish()`` at the end of the run for the verdict.
+        """
+        from ..faults.invariants import InvariantChecker
+
+        checker = InvariantChecker(self, getattr(self, "fault_injector", None))
+        checker.install()
+        if interval_s is not None:
+            checker.start(interval_s)
+        return checker
+
     # -- observability -----------------------------------------------------------------------
 
     def enable_tracing(self, max_events: int = 2_000_000,

@@ -18,11 +18,19 @@ from ...errors import AllocationError, ChannelFullError, DeviceFailedError
 from ...host.host import Host, MemDomain
 from ...mem.layout import Region, RegionAllocator
 from ...obs.flow import NULL_FLOWS
-from ...sim.core import NSEC, USEC, Simulator
+from ...pcie.ssd import NVME_STATUS_FAILED, NVME_STATUS_MEDIA
+from ...sim.core import MSEC, NSEC, USEC, Simulator
 from ..engine import Driver
 from .messages import SOP_COMPLETION, SOP_READ, SOP_WRITE, StorageMessage
 
-__all__ = ["StorageFrontend", "VirtualBlockDevice"]
+__all__ = ["StorageFrontend", "VirtualBlockDevice", "STATUS_TIMEOUT"]
+
+#: Synthetic status for a request the frontend gave up on after its
+#: per-attempt deadline expired repeatedly (no NVMe completion ever came).
+STATUS_TIMEOUT = 0xFE
+
+#: Statuses worth retrying: the device is still there, the command failed.
+_TRANSIENT_STATUSES = frozenset({NVME_STATUS_MEDIA, NVME_STATUS_FAILED})
 
 
 class VirtualBlockDevice:
@@ -70,6 +78,12 @@ class StorageFrontend(Driver):
         self._next_cid = 1
         self.completed_ok = 0
         self.completed_error = 0
+        # Fault tolerance (§ graceful degradation): transient device errors
+        # and lost completions are retried with exponential backoff before
+        # the error is surfaced to the instance.
+        self.retries = 0
+        self.timeouts = 0
+        self.giveups = 0
 
     def connect_backend(self, name: str, tx, rx) -> None:
         self._links[name] = (tx, rx)
@@ -103,16 +117,18 @@ class StorageFrontend(Driver):
         store_ns += self.domain.cache.clwb_range(region.base, len(data),
                                                  category="payload")
         cid = self._alloc_cid()
+        ip = device.instance.ip if device.instance else 0
         self._pending[cid] = {
             "op": SOP_WRITE, "region": region, "callback": callback,
             "nbytes": len(data), "backend": device.backend_name,
+            "lba": lba, "nlb": nlb, "ip": ip, "retries": 0, "attempt": 0,
         }
-        message = StorageMessage(SOP_WRITE, cid, lba, nlb, region.base,
-                                 device.instance.ip if device.instance else 0)
+        message = StorageMessage(SOP_WRITE, cid, lba, nlb, region.base, ip)
         self.sim.schedule(
             self.config.datapath.ipc_hop_us * USEC + store_ns * NSEC,
             self._enqueue, device.backend_name, message,
         )
+        self._arm_timeout(cid)
         return cid
 
     def submit_read(self, device: VirtualBlockDevice, lba: int, nblocks: int,
@@ -129,14 +145,16 @@ class StorageFrontend(Driver):
                                         nblocks * device.block_size,
                                         category="payload")
         cid = self._alloc_cid()
+        ip = device.instance.ip if device.instance else 0
         self._pending[cid] = {
             "op": SOP_READ, "region": region, "callback": callback,
             "nbytes": nblocks * device.block_size, "backend": device.backend_name,
+            "lba": lba, "nlb": nblocks, "ip": ip, "retries": 0, "attempt": 0,
         }
-        message = StorageMessage(SOP_READ, cid, lba, nblocks, region.base,
-                                 device.instance.ip if device.instance else 0)
+        message = StorageMessage(SOP_READ, cid, lba, nblocks, region.base, ip)
         self.sim.schedule(self.config.datapath.ipc_hop_us * USEC,
                           self._enqueue, device.backend_name, message)
+        self._arm_timeout(cid)
         return cid
 
     def _enqueue(self, backend_name: str, message: StorageMessage) -> None:
@@ -166,17 +184,66 @@ class StorageFrontend(Driver):
                     cost += self._handle_completion(message)
         return items, cost
 
-    def _handle_completion(self, message: StorageMessage) -> float:
-        state = self._pending.pop(message.cid, None)
+    # -- fault tolerance: per-attempt deadlines and retries ------------------------
+
+    def _arm_timeout(self, cid: int) -> None:
+        """Start (or restart) the per-attempt deadline for ``cid``."""
+        state = self._pending.get(cid)
         if state is None:
-            return 20.0
+            return
+        state["attempt"] += 1
+        self.sim.schedule(self.config.retry.storage_timeout_ms * MSEC,
+                          self._on_timeout, cid, state["attempt"])
+
+    def _on_timeout(self, cid: int, attempt: int) -> None:
+        state = self._pending.get(cid)
+        if state is None or state["attempt"] != attempt:
+            return   # completed, or already retried: the deadline is stale
+        self.timeouts += 1
+        if state["retries"] >= self.config.retry.storage_max_retries:
+            self.giveups += 1
+            self._finish(cid, state, STATUS_TIMEOUT, b"")
+            return
+        self._schedule_retry(cid, state)
+
+    def _schedule_retry(self, cid: int, state: dict) -> None:
+        state["retries"] += 1
+        self.retries += 1
+        if self.flows.enabled:
+            flow = self.flows.peek(state["region"].base)
+            if flow is not None:
+                flow.stage("sfe.retry", depth=state["retries"])
+        backoff = (self.config.retry.storage_backoff_ms
+                   * self.config.retry.storage_backoff_mult
+                   ** (state["retries"] - 1))
+        self.sim.schedule(backoff * MSEC, self._resubmit, cid)
+
+    def _resubmit(self, cid: int) -> None:
+        state = self._pending.get(cid)
+        if state is None:
+            return   # a late completion beat the retry: nothing to redo
+        region: Region = state["region"]
+        if state["op"] == SOP_READ:
+            # The failed attempt may have left (zero/partial) lines cached;
+            # invalidate so the repeated DMA write is read fresh.
+            self.domain.cache.clflush_range(region.base, state["nbytes"],
+                                            category="payload")
+        message = StorageMessage(state["op"], cid, state["lba"], state["nlb"],
+                                 region.base, state["ip"])
+        self._enqueue(state["backend"], message)
+        self._arm_timeout(cid)
+
+    def _handle_completion(self, message: StorageMessage) -> float:
+        state = self._pending.get(message.cid)
+        if state is None:
+            return 20.0   # duplicate or post-timeout completion: ignore
+        if message.status in _TRANSIENT_STATUSES:
+            if state["retries"] < self.config.retry.storage_max_retries:
+                self._schedule_retry(message.cid, state)
+                return self.ITEM_NS
+            self.giveups += 1
         cost = self.ITEM_NS
         region: Region = state["region"]
-        if self.flows.enabled:
-            # Pop: the buffer region is freed below and will be recycled.
-            flow = self.flows.pop(region.base)
-            if flow is not None:
-                flow.stage("sfe.comp")
         if state["op"] == SOP_READ and message.status == 0:
             # Copy the data out of shared memory, then invalidate the lines.
             data, load_ns = self.domain.cache.load(region.base, state["nbytes"],
@@ -186,18 +253,29 @@ class StorageFrontend(Driver):
                                                     category="payload")
         else:
             data = b""
+        self._finish(message.cid, state, message.status, data)
+        return cost
+
+    def _finish(self, cid: int, state: dict, status: int, data: bytes) -> None:
+        """Retire a request: release its buffer and call the instance back."""
+        self._pending.pop(cid, None)
+        region: Region = state["region"]
+        if self.flows.enabled:
+            # Pop: the buffer region is freed below and will be recycled.
+            flow = self.flows.pop(region.base)
+            if flow is not None:
+                flow.stage("sfe.comp")
         self._space.free(region)
-        if message.status == 0:
+        if status == 0:
             self.completed_ok += 1
         else:
             self.completed_error += 1
         callback = state["callback"]
         ipc = self.config.datapath.ipc_hop_us * USEC
         if state["op"] == SOP_READ:
-            self.sim.schedule(ipc, callback, message.status, data)
+            self.sim.schedule(ipc, callback, status, data)
         else:
-            self.sim.schedule(ipc, callback, message.status)
-        return cost
+            self.sim.schedule(ipc, callback, status)
 
     @property
     def inflight(self) -> int:

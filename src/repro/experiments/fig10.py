@@ -20,14 +20,29 @@ ECHO_LOADS_PPS = {"low": 20_000.0, "moderate": 100_000.0}
 
 
 def run_echo(mode: str, packet_size: int, rate_pps: float,
-             duration_s: float = 0.2) -> dict:
-    """One echo cell; returns RTT percentiles in us."""
+             duration_s: float = 0.2, seed: Optional[int] = None) -> dict:
+    """One echo cell; returns RTT percentiles in us.
+
+    With ``seed`` the run is fully deterministic from that one root seed
+    (Poisson arrivals drawn from the pod's RNG tree) and the summary gains a
+    ``report_json`` field -- the canonical metrics snapshot serialised with
+    sorted keys -- so replay tests can assert byte-identical output.
+    """
     remote = mode == "oasis"
-    pod, inst, client_ep, _ = build_echo_pod(mode, remote=remote)
+    config = None
+    if seed is not None:
+        from ..config import OasisConfig
+
+        config = OasisConfig().with_(seed=seed)
+    pod, inst, client_ep, _ = build_echo_pod(mode, remote=remote,
+                                             config=config)
     # The pod's flow registry is wired in but stays disabled, so this path
     # doubles as the benchmark for flow tracing's off-mode overhead.
     client = EchoClient(pod.sim, client_ep, SERVER_IP,
                         packet_size=packet_size, rate_pps=rate_pps,
+                        rng=pod.rng.get("echo-client") if seed is not None
+                        else None,
+                        poisson=seed is not None,
                         metrics=pod.metrics, flows=pod.flows)
     client.start(duration_s)
     pod.run(duration_s + 0.02)
@@ -39,6 +54,13 @@ def run_echo(mode: str, packet_size: int, rate_pps: float,
     summary["lost"] = (client.stats.sent
                        - int(pod.metrics.value("echo_rtt_us_count",
                                                client=client.name)))
+    if seed is not None:
+        import json
+
+        from ..obs.cli import snapshot_json
+
+        summary["report_json"] = json.dumps(
+            snapshot_json(pod.metrics.snapshot(pod.sim.now)), sort_keys=True)
     return summary
 
 

@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from ..analysis.report import render_series, render_table
+from ..faults import FaultPlan, FaultSpec
 from ..workloads.echo import EchoClient
 from .common import SERVER_IP, build_echo_pod, scale
 
@@ -40,9 +41,13 @@ def run(
                         rate_pps=rate_pps,
                         rng=np.random.default_rng(seed), poisson=False)
     client.start(duration)
-    pod.run(fail_at)
-    pod.fail_switch_port(nic0)
-    pod.run(duration - fail_at + 1.0)
+    # The paper's injection ("we disable the switch port connected to the
+    # NIC"), scheduled through the deterministic fault injector.
+    injector = pod.inject_faults(FaultPlan(
+        [FaultSpec(kind="switch.port_down", target=nic0.name, at=fail_at)],
+        name="fig13-port-down",
+    ))
+    pod.run(duration + 1.0)
     pod.stop()
 
     stats = client.stats
@@ -67,6 +72,7 @@ def run(
         "loss_timeline": stats.loss_timeline(0.1, duration),
         "failovers": pod.allocator.failovers_executed,
         "fail_at_s": fail_at,
+        "fault_events": [event.signature() for event in injector.events],
         "failover_phases_ms": phases,
         "failover_phase_sum_ms": float(sum(phases.values())),
         "trace_events": trace_events,

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..analysis.report import render_table
 from ..core.pod import CXLPod
+from ..faults import FaultPlan, FaultSpec
 from ..workloads.apps import APP_PROFILES, AppClient, AppServer
 from ..workloads.echo import EchoServer
 from .common import CLIENT_IP, SERVER_IP, build_echo_pod, scale
@@ -39,9 +40,11 @@ def run(
     client = AppClient(pod.sim, client_ep, SERVER_IP, profile, rate_rps,
                        np.random.default_rng(seed + 1), server_port=11211)
     client.start(duration)
-    pod.run(fail_at)
-    pod.fail_switch_port(nic0)
-    pod.run(duration - fail_at + 1.5)
+    injector = pod.inject_faults(FaultPlan(
+        [FaultSpec(kind="switch.port_down", target=nic0.name, at=fail_at)],
+        name="fig14-port-down",
+    ))
+    pod.run(duration + 1.5)
     pod.stop()
 
     timeline = client.p99_timeline(bin_s, duration)
@@ -64,6 +67,7 @@ def run(
         "recovery_ms": float(recovery_ms),
         "peak_p99_ms": peak_ms,
         "retransmits": client.sock.retransmits,
+        "fault_events": [event.signature() for event in injector.events],
         "sent": client.sent,
         "completed": len(client.latencies_us),
         "fail_at_s": fail_at,

@@ -1,0 +1,34 @@
+"""Deterministic fault injection with invariant-checked chaos schedules.
+
+Usage::
+
+    from repro.faults import FaultPlan, FaultSpec
+
+    plan = FaultPlan([
+        FaultSpec(kind="cxl.throttle", at=0.05, duration=0.02,
+                  params={"factor": 8.0}),
+        FaultSpec(kind="ssd.media_error", target="ssd-h0-1",
+                  window=(0.02, 0.1), params={"count": 3}),
+    ])
+    injector = pod.inject_faults(plan)
+    checker = pod.check_invariants(interval_s=0.005)
+    pod.run(0.5)
+    verdict = checker.finish()
+    assert verdict.ok, verdict.render()
+
+Or from the command line::
+
+    python -m repro chaos --seed 7 --plan plan.json
+"""
+
+from .injector import FaultEvent, FaultInjector
+from .invariants import InvariantChecker, InvariantVerdict, Violation
+from .plan import (FAULT_KINDS, FaultPlan, FaultSpec, ResolvedFault,
+                   dump_failure_artifact)
+
+__all__ = [
+    "FAULT_KINDS", "FaultPlan", "FaultSpec", "ResolvedFault",
+    "FaultInjector", "FaultEvent",
+    "InvariantChecker", "InvariantVerdict", "Violation",
+    "dump_failure_artifact",
+]

@@ -1,0 +1,204 @@
+"""Chaos runner: a mixed workload under a fault plan, invariant-checked.
+
+``python -m repro chaos --seed N [--plan plan.json]`` builds a two-host pod
+(pooled NIC + backup, pooled SSD), runs an echo workload and a block-I/O
+workload through it, applies the fault plan (the built-in
+:data:`DEFAULT_PLAN` when none is given), and evaluates the invariant suite
+continuously plus at the end.  Everything -- workload arrivals, fault times,
+failover -- derives from the one root seed, so a failing (seed, plan) pair
+printed by the run (and dumped via
+:func:`~repro.faults.plan.dump_failure_artifact`) replays exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Optional
+
+from ..config import OasisConfig
+from ..errors import ConfigError
+from ..core.pod import CXLPod
+from ..net.packet import make_ip
+from ..workloads.blockio import BlockWorkload
+from ..workloads.echo import EchoClient, EchoServer
+from .plan import FaultPlan, dump_failure_artifact
+
+__all__ = ["DEFAULT_PLAN", "run_chaos", "main_chaos"]
+
+SERVER_IP = make_ip(10, 0, 0, 1)
+CLIENT_IP = make_ip(10, 0, 9, 1)
+
+#: A representative all-recoverable schedule exercising every layer: CXL
+#: link degradation, device-level transient faults, fabric misbehaviour and
+#: a full switch-port failover.  Windowed times are drawn from the root seed.
+DEFAULT_PLAN = {
+    "name": "default-chaos",
+    "faults": [
+        {"kind": "cxl.throttle", "window": [0.04, 0.10], "duration": 0.03,
+         "params": {"factor": 4.0}},
+        {"kind": "cxl.latency_spike", "window": [0.15, 0.25],
+         "duration": 0.02, "params": {"extra_us": 1.5}},
+        {"kind": "nic.dma_abort", "target": "nic-h0",
+         "window": [0.05, 0.30], "params": {"count": 2}},
+        {"kind": "ssd.media_error", "window": [0.05, 0.30],
+         "params": {"count": 2}},
+        {"kind": "switch.drop", "window": [0.05, 0.35],
+         "params": {"count": 2}},
+        {"kind": "switch.duplicate", "window": [0.05, 0.35],
+         "params": {"count": 1}},
+        {"kind": "switch.port_down", "target": "nic-h0", "at": 0.30,
+         "duration": 0.10},
+    ],
+}
+
+
+def build_chaos_pod(seed: int):
+    """Three hosts: NIC+SSD on h0, the instance on (NIC-less) h1, backup NIC
+    on h2 -- so the datapath crosses hosts and failover has somewhere to go."""
+    config = OasisConfig().with_(seed=seed)
+    pod = CXLPod(config=config, mode="oasis")
+    h0 = pod.add_host()
+    h1 = pod.add_host()
+    h2 = pod.add_host()
+    pod.add_nic(h0)                      # nic-h0: primary
+    pod.add_nic(h2, is_backup=True)      # nic-h2: failover target
+    ssd = pod.add_ssd(h0)
+    instance = pod.add_instance(h1, ip=SERVER_IP)
+    EchoServer(pod.sim, instance)
+    device = pod.add_block_device(instance, ssd)
+    client = pod.add_external_client(ip=CLIENT_IP)
+    echo = EchoClient(pod.sim, client, SERVER_IP, packet_size=256,
+                      rate_pps=2000.0, rng=pod.rng.get("chaos/echo"),
+                      poisson=True, metrics=pod.metrics, flows=pod.flows)
+    blockio = BlockWorkload(pod.sim, device, rate_iops=1500.0,
+                            rng=pod.rng.get("chaos/blockio"), flows=pod.flows)
+    return pod, echo, blockio
+
+
+def run_chaos(
+    seed: int = 42,
+    plan: Optional[FaultPlan] = None,
+    duration_s: float = 0.5,
+    settle_s: float = 0.3,
+    check_interval_s: float = 0.005,
+    verbose: bool = True,
+) -> dict:
+    """One deterministic chaos run; returns the full result bundle."""
+    if plan is None:
+        plan = FaultPlan.from_json(json.dumps(DEFAULT_PLAN))
+    pod, echo, blockio = build_chaos_pod(seed)
+    pod.enable_flow_tracing()
+    injector = pod.inject_faults(plan)
+    checker = pod.check_invariants(interval_s=check_interval_s)
+    echo.start(duration_s)
+    blockio.start(duration_s)
+    pod.run(duration_s + settle_s)
+    pod.stop()
+    verdict = checker.finish()
+
+    result = {
+        "seed": seed,
+        "plan": plan.name,
+        "ok": verdict.ok,
+        "verdict": verdict,
+        "injector": injector,
+        "events": [event.signature() for event in injector.events],
+        "echo": {"sent": echo.stats.sent, "received": echo.stats.received,
+                 "lost": echo.stats.lost},
+        "blockio": {"submitted": blockio.stats.submitted,
+                    "completed": blockio.stats.completed,
+                    "errors": blockio.stats.errors},
+        "recovery": _recovery_counters(pod),
+        "pod": pod,
+    }
+
+    if verbose:
+        print(f"chaos run: seed={seed} plan={plan.name!r} "
+              f"duration={duration_s}s (+{settle_s}s settle)")
+        print(f"\nfault events ({len(injector.events)}):")
+        for event in injector.events:
+            print(f"  {event!r}")
+        print(f"\nworkloads:")
+        print(f"  echo    sent={echo.stats.sent} "
+              f"received={echo.stats.received} lost={echo.stats.lost}")
+        print(f"  blockio submitted={blockio.stats.submitted} "
+              f"completed={blockio.stats.completed} "
+              f"errors={blockio.stats.errors}")
+        print(f"\nrecovery counters:")
+        for name, value in sorted(result["recovery"].items()):
+            print(f"  {name}: {value}")
+        print()
+        print(verdict.render())
+
+    if not verdict.ok:
+        path = dump_failure_artifact(
+            f"chaos-seed{seed}-{plan.name}",
+            {"seed": seed, "plan": json.loads(plan.to_json()),
+             "violations": [repr(v) for v in verdict.violations],
+             "events": [repr(e) for e in injector.events]},
+        )
+        if verbose:
+            print(f"\nfailing schedule written to {path}")
+    return result
+
+
+def _recovery_counters(pod) -> dict:
+    counters = {}
+    for backend in pod.backends.values():
+        counters[f"{backend.name}.tx_retries"] = backend.tx_retries
+        counters[f"{backend.name}.tx_giveups"] = backend.tx_giveups
+    for frontend in pod.storage_frontends.values():
+        counters[f"{frontend.name}.retries"] = frontend.retries
+        counters[f"{frontend.name}.timeouts"] = frontend.timeouts
+        counters[f"{frontend.name}.giveups"] = frontend.giveups
+    for nic in pod.nics.values():
+        counters[f"{nic.name}.dma_aborts"] = nic.dma_aborts
+    for backend in pod.storage_backends.values():
+        counters[f"{backend.ssd.name}.media_errors"] = backend.ssd.media_errors
+    counters["switch.fault_dropped"] = pod.switch.fault_dropped
+    counters["switch.fault_duplicated"] = pod.switch.fault_duplicated
+    counters["allocator.failovers"] = pod.allocator.failovers_executed
+    return counters
+
+
+def main_chaos(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="deterministic fault-injection run with invariant checks",
+    )
+    parser.add_argument("--seed", type=int, default=42,
+                        help="root seed (drives workloads AND fault times)")
+    parser.add_argument("--plan", type=str, default=None,
+                        help="fault plan JSON file (default: built-in plan)")
+    parser.add_argument("--duration", type=float, default=0.5,
+                        help="workload duration in sim seconds")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable result instead of text")
+    args = parser.parse_args(argv)
+
+    try:
+        plan = FaultPlan.load(args.plan) if args.plan else None
+    except (OSError, ConfigError) as exc:
+        print(f"chaos: cannot load plan {args.plan!r}: {exc}", file=sys.stderr)
+        return 2
+    result = run_chaos(seed=args.seed, plan=plan, duration_s=args.duration,
+                       verbose=not args.json)
+    if args.json:
+        verdict = result["verdict"]
+        print(json.dumps({
+            "seed": result["seed"], "plan": result["plan"],
+            "ok": result["ok"],
+            "events": [list(sig) for sig in result["events"]],
+            "violations": [repr(v) for v in verdict.violations],
+            "checks": verdict.checks,
+            "echo": result["echo"], "blockio": result["blockio"],
+            "recovery": result["recovery"],
+        }, indent=1))
+    return 0 if result["ok"] else 1
+
+
+if __name__ == "__main__":   # pragma: no cover
+    raise SystemExit(main_chaos())

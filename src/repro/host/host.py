@@ -39,7 +39,7 @@ class MemDomain:
         self.is_shared = is_shared
 
     def transfer_time(self, nbytes: int) -> float:
-        return self.pool.transfer_time_s(nbytes)
+        return self.pool.transfer_time_s(nbytes, host=self.cache.host)
 
 
 class Host:

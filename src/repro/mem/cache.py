@@ -47,6 +47,8 @@ class CacheStats:
     evictions: int = 0
     dma_read_snoop_hits: int = 0
     dma_write_snoop_hits: int = 0
+    writebacks_lost: int = 0        # injected fault: posted write vanished
+    writebacks_partial: int = 0     # injected fault: only half the line landed
 
     def reset(self) -> None:
         for name in self.__dict__:
@@ -83,6 +85,9 @@ class HostCache:
         # and applies the bytes to the pool once the write lands.  When unset,
         # writebacks reach the pool immediately.
         self.writeback_hook = None
+        # Fault injection (repro.faults): the next N writebacks of matching
+        # category are dropped ("drop") or torn in half ("partial").
+        self._wb_fault: Optional[dict] = None
 
     # -- internals ----------------------------------------------------------
 
@@ -219,7 +224,50 @@ class HostCache:
             self.stats.invalidations += 1
         return t.clflush_ns if fenced else t.clflush_issue_ns
 
+    def inject_writeback_fault(self, count: int = 1, mode: str = "drop",
+                               category: Optional[str] = "payload",
+                               on_fault=None) -> None:
+        """Arm a writeback fault: the next ``count`` writebacks whose category
+        matches (``None`` matches any) are dropped or half-torn.
+
+        The CPU side is oblivious -- CLWB retires, the line goes clean, the
+        writeback counter ticks -- but the pool never (fully) sees the bytes,
+        which is exactly how a lost posted write on a flaky CXL link behaves.
+        ``on_fault(line_index, category, mode)`` lets the injector record the
+        damaged line so invariant checks can exclude it.
+        """
+        if mode not in ("drop", "partial"):
+            raise ValueError(f"unknown writeback fault mode {mode!r}")
+        if count <= 0:
+            raise ValueError("writeback fault count must be positive")
+        self._wb_fault = {"count": int(count), "mode": mode,
+                          "category": category, "on_fault": on_fault}
+
+    def _writeback_faulted(self, index: int, line: "_Line", category: str) -> bool:
+        fault = self._wb_fault
+        if fault is None:
+            return False
+        if fault["category"] is not None and fault["category"] != category:
+            return False
+        fault["count"] -= 1
+        if fault["count"] <= 0:
+            self._wb_fault = None
+        if fault["on_fault"] is not None:
+            fault["on_fault"](index, category, fault["mode"])
+        if fault["mode"] == "drop":
+            self.stats.writebacks_lost += 1
+            return True
+        # Partial: the first half of the line lands, the tail is torn off.
+        half = CACHE_LINE // 2
+        merged = bytes(line.data[:half]) + self.pool.read_line(index)[half:]
+        self.pool.write_line(index, merged)
+        self.pool._account(self.host, "write", category, CACHE_LINE)
+        self.stats.writebacks_partial += 1
+        return True
+
     def _write_back(self, index: int, line: "_Line", category: str) -> None:
+        if self._writeback_faulted(index, line, category):
+            return
         if self.writeback_hook is not None:
             self.writeback_hook(index, bytes(line.data), category)
         else:

@@ -100,6 +100,9 @@ class CXLMemoryPool:
         self._lines: Dict[int, bytearray] = {}
         self.link_stats: Dict[str, LinkStats] = {}
         self.timings = self.config.timings
+        # Fault injection (repro.faults): per-host-link bandwidth derate and
+        # added latency; the key None degrades every link in the pod.
+        self._link_faults: Dict[Optional[str], Tuple[float, float]] = {}
 
     # -- accounting --------------------------------------------------------
 
@@ -185,9 +188,32 @@ class CXLMemoryPool:
 
     # -- transfer timing -----------------------------------------------------
 
-    def transfer_time_s(self, nbytes: int) -> float:
-        """Time to move ``nbytes`` across one host's CXL link (bandwidth only)."""
-        return nbytes / self.config.link_bytes_per_sec
+    def set_link_fault(self, host: Optional[str] = None, derate: float = 1.0,
+                       extra_s: float = 0.0) -> None:
+        """Degrade a host's CXL link: divide bandwidth by ``derate`` and add
+        ``extra_s`` to every transfer.  ``host=None`` degrades all links."""
+        if derate < 1.0:
+            raise MemoryFault(f"link derate must be >= 1, got {derate}")
+        self._link_faults[host] = (derate, extra_s)
+
+    def clear_link_fault(self, host: Optional[str] = None) -> None:
+        self._link_faults.pop(host, None)
+
+    def link_fault_active(self, host: Optional[str] = None) -> bool:
+        return host in self._link_faults or None in self._link_faults
+
+    def transfer_time_s(self, nbytes: int, host: Optional[str] = None) -> float:
+        """Time to move ``nbytes`` across one host's CXL link (bandwidth only,
+        plus any injected link fault on that host's link)."""
+        base = nbytes / self.config.link_bytes_per_sec
+        if self._link_faults:
+            fault = self._link_faults.get(host)
+            if fault is None:
+                fault = self._link_faults.get(None)
+            if fault is not None:
+                derate, extra_s = fault
+                return base * derate + extra_s
+        return base
 
     def touched_lines(self) -> Iterator[Tuple[int, bytes]]:
         """All lines ever written, for debugging/verification."""

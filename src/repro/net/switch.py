@@ -122,6 +122,12 @@ class LearningSwitch:
         self.mac_table: Dict[int, int] = {}
         self.flooded_frames = 0
         self.forwarded_frames = 0
+        # Fault injection (repro.faults): silently drop / duplicate the next
+        # N forwarded frames (a misbehaving fabric, not a disabled port).
+        self.fault_dropped = 0
+        self.fault_duplicated = 0
+        self._drop_next = 0
+        self._dup_next = 0
 
     def new_port(self, rate_gbps: Optional[float] = None) -> SwitchPort:
         port_id = len(self.ports)
@@ -134,21 +140,40 @@ class LearningSwitch:
         self.ports[port_id] = port
         return port
 
+    def inject_drop(self, count: int = 1) -> None:
+        """Arm a fabric fault: silently drop the next ``count`` frames."""
+        self._drop_next += count
+
+    def inject_duplicate(self, count: int = 1) -> None:
+        """Arm a fabric fault: deliver the next ``count`` frames twice."""
+        self._dup_next += count
+
     def forward(self, frame: Frame, in_port: int) -> None:
         """Learn the source MAC, then forward (or flood) the frame."""
         self.mac_table[frame.src_mac] = in_port
+        if self._drop_next > 0:
+            self._drop_next -= 1
+            self.fault_dropped += 1
+            return
+        copies = 1
+        if self._dup_next > 0:
+            self._dup_next -= 1
+            self.fault_duplicated += 1
+            copies = 2
         self.forwarded_frames += 1
         if frame.dst_mac != BROADCAST_MAC:
             out = self.mac_table.get(frame.dst_mac)
             if out is not None:
                 if out != in_port:
-                    self.ports[out].transmit(frame)
+                    for _ in range(copies):
+                        self.ports[out].transmit(frame)
                 return
         # Unknown destination or broadcast: flood.
         self.flooded_frames += 1
         for port_id, port in self.ports.items():
             if port_id != in_port:
-                port.transmit(frame)
+                for _ in range(copies):
+                    port.transmit(frame)
 
     def port_of_mac(self, mac: int) -> Optional[int]:
         return self.mac_table.get(mac)

@@ -48,6 +48,7 @@ __all__ = [
     "bind_raft_node",
     "bind_tracer",
     "bind_flows",
+    "bind_injector",
     "CACHE_OP_FIELDS",
     "CHANNEL_OP_FIELDS",
 ]
@@ -57,6 +58,7 @@ CACHE_OP_FIELDS = (
     "hits", "misses", "stores", "writebacks", "invalidations", "fences",
     "prefetches_issued", "prefetches_ignored", "evictions",
     "dma_read_snoop_hits", "dma_write_snoop_hits",
+    "writebacks_lost", "writebacks_partial",
 )
 
 #: ChannelCounters attributes exported as ``channel_ops``
@@ -146,6 +148,10 @@ def bind_nic(registry: MetricsRegistry, nic) -> None:
                       device=name, host=host)
         yield _sample("device_aer_errors", nic.aer.total(), device=name,
                       host=host)
+        yield _sample("nic_tx_completions", nic.tx_completions, device=name,
+                      host=host)
+        yield _sample("nic_dma_aborts", nic.dma_aborts, device=name,
+                      host=host)
 
     registry.register_collector(collect)
 
@@ -163,6 +169,10 @@ def bind_ssd(registry: MetricsRegistry, ssd) -> None:
                       op="write")
         yield _sample("device_aer_errors", ssd.aer.total(), device=name,
                       host=host)
+        yield _sample("ssd_completions", ssd.completions, device=name,
+                      host=host)
+        yield _sample("ssd_media_errors", ssd.media_errors, device=name,
+                      host=host)
 
     registry.register_collector(collect)
 
@@ -174,6 +184,10 @@ def bind_switch(registry: MetricsRegistry, switch) -> None:
                       event="forwarded")
         yield _sample("switch_frames", switch.flooded_frames, switch=name,
                       event="flooded")
+        yield _sample("switch_frames", switch.fault_dropped, switch=name,
+                      event="fault_dropped")
+        yield _sample("switch_frames", switch.fault_duplicated, switch=name,
+                      event="fault_duplicated")
         for port_id, port in switch.ports.items():
             yield _sample("switch_port_tx_frames", port.tx_frames,
                           switch=name, port=str(port_id))
@@ -190,6 +204,9 @@ _DRIVER_EXTRA_FIELDS = (
     "tx_forwarded", "rx_delivered", "rx_unknown_instance", "tx_no_buffer",
     "tx_posted", "rx_forwarded", "rx_fallback_inspections",
     "rx_dropped_unknown",
+    # fault tolerance (net backend / storage frontend)
+    "tx_retries", "tx_giveups",
+    "retries", "timeouts", "giveups", "completed_ok", "completed_error",
 )
 
 
@@ -248,6 +265,18 @@ def bind_flows(registry: MetricsRegistry, flows) -> None:
         yield _sample("flow_records_dropped", flows.dropped_records)
         yield _sample("flow_stash_evicted", flows.stash_evicted)
         yield _sample("flow_stash_open", len(flows._stash))
+
+    registry.register_collector(collect)
+
+
+def bind_injector(registry: MetricsRegistry, injector) -> None:
+    """Export a :class:`~repro.faults.injector.FaultInjector`'s event counts."""
+
+    def collect():
+        for kind, count in injector.injected.items():
+            yield _sample("fault_injected", count, kind=kind)
+        for kind, count in injector.recovered.items():
+            yield _sample("fault_recovered", count, kind=kind)
 
     registry.register_collector(collect)
 

@@ -34,7 +34,11 @@ from ..sim.core import Simulator
 from .device import PCIeDevice
 from .queues import Completion, DescriptorRing, RxDescriptor, TxDescriptor
 
-__all__ = ["SimNIC"]
+__all__ = ["SimNIC", "TX_STATUS_OK", "TX_STATUS_LINK_ERROR", "TX_STATUS_DMA_ABORT"]
+
+TX_STATUS_OK = 0
+TX_STATUS_LINK_ERROR = 1    # NIC dead or link down: not retriable at the NIC
+TX_STATUS_DMA_ABORT = 2     # DMA aborted mid-transfer: retriable (repost)
 
 
 class SimNIC(PCIeDevice):
@@ -71,6 +75,9 @@ class SimNIC(PCIeDevice):
         self.rx_bytes = 0
         self.rx_dropped_no_buffer = 0
         self.rx_dropped_down = 0
+        self.tx_completions = 0
+        self.dma_aborts = 0
+        self._abort_tx_next = 0     # armed by fault injection
 
     # -- wiring ------------------------------------------------------------------
 
@@ -117,13 +124,31 @@ class SimNIC(PCIeDevice):
         start = max(self.sim.now, self._tx_busy_until)
         self.sim.at(start, self._tx_process_one)
 
+    def inject_dma_abort(self, count: int = 1) -> None:
+        """Arm a mid-transfer fault: the next ``count`` TX descriptors abort
+        their buffer DMA and complete with :data:`TX_STATUS_DMA_ABORT`
+        (a correctable AER event; the driver may repost them)."""
+        if count <= 0:
+            raise DeviceError("dma abort count must be positive")
+        self._abort_tx_next += count
+
     def _tx_process_one(self) -> None:
         self._tx_scheduled = False
         if self.tx_ring.empty:
             return
         desc: TxDescriptor = self.tx_ring.pop()
         if self.failed:
-            self._complete_tx(desc, status=1)
+            self._complete_tx(desc, status=TX_STATUS_LINK_ERROR)
+            self._kick_tx()
+            return
+        if self._abort_tx_next > 0:
+            self._abort_tx_next -= 1
+            self.dma_aborts += 1
+            self.aer.non_fatal += 1
+            self.tracer.instant("nic.tx.dma_abort", category="fault",
+                                track=self.name, addr=desc.addr)
+            self._complete_tx(desc, status=TX_STATUS_DMA_ABORT)
+            self._kick_tx()
             return
         # WQE fetch + DMA read of the buffer over the host's CXL link.
         data = self.host.dma_read(desc.addr, desc.length, category="payload",
@@ -158,17 +183,27 @@ class SimNIC(PCIeDevice):
             self.tx_frames += 1
             self.tx_bytes += frame.wire_size
             self.port.receive(frame)
-            self._complete_tx(desc, status=0)
+            self._complete_tx(desc, status=TX_STATUS_OK)
         else:
-            self._complete_tx(desc, status=1)
+            self._complete_tx(desc, status=TX_STATUS_LINK_ERROR)
         self._kick_tx()
 
     def _complete_tx(self, desc: TxDescriptor, status: int) -> None:
+        self.tx_completions += 1
         if self.on_tx_complete is not None:
             self.on_tx_complete(
                 Completion(descriptor=desc, status=status, length=desc.length,
                            timestamp=self.sim.now)
             )
+
+    def fail(self, reason: str = "injected") -> None:
+        """Hard-failing the NIC error-completes everything still queued, so
+        the driver can release the TX buffers instead of leaking them."""
+        if self.failed:
+            return
+        super().fail(reason)
+        for desc in self.tx_ring.drain():
+            self._complete_tx(desc, status=TX_STATUS_LINK_ERROR)
 
     def send_raw(self, frame: Frame) -> None:
         """Transmit a driver-crafted frame immediately (MAC borrowing)."""

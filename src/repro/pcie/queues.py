@@ -25,6 +25,7 @@ class TxDescriptor:
     length: int
     cookie: Any = None          # opaque driver context, echoed in the completion
     local: bool = False         # buffer lives in host-local DDR (baseline mode)
+    retries: int = 0            # times the driver reposted after a DMA abort
 
 
 @dataclass

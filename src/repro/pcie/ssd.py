@@ -23,11 +23,13 @@ from ..sim.core import Simulator, USEC
 from .device import PCIeDevice
 from .queues import Completion, DescriptorRing, NVMeCommand
 
-__all__ = ["SimSSD", "NVME_OP_WRITE", "NVME_OP_READ", "NVME_STATUS_OK", "NVME_STATUS_FAILED"]
+__all__ = ["SimSSD", "NVME_OP_WRITE", "NVME_OP_READ", "NVME_STATUS_OK",
+           "NVME_STATUS_FAILED", "NVME_STATUS_MEDIA"]
 
 NVME_OP_WRITE = 0x01
 NVME_OP_READ = 0x02
 NVME_STATUS_OK = 0
+NVME_STATUS_MEDIA = 0x02   # unrecovered media error (transient: retriable)
 NVME_STATUS_FAILED = 0x06  # internal device error
 NVME_STATUS_LBA_RANGE = 0x80
 
@@ -55,11 +57,21 @@ class SimSSD(PCIeDevice):
         self.writes = 0
         self.read_bytes = 0
         self.write_bytes = 0
+        self.completions = 0
+        self.media_errors = 0
+        self._media_error_next = 0   # armed by fault injection
         self._pending = 0
 
     @property
     def num_blocks(self) -> int:
         return self.config.capacity_bytes // self.config.block_size
+
+    def inject_media_error(self, count: int = 1) -> None:
+        """Arm a media fault: the next ``count`` commands fail with
+        :data:`NVME_STATUS_MEDIA` after paying the normal media latency."""
+        if count <= 0:
+            raise DeviceError("media error count must be positive")
+        self._media_error_next += count
 
     # -- submission ------------------------------------------------------------
 
@@ -101,11 +113,25 @@ class SimSSD(PCIeDevice):
             "ssd.write" if cmd.opcode == NVME_OP_WRITE else "ssd.read",
             start, done - start, category="dma", track=self.name,
             bytes=nbytes, slba=cmd.slba)
-        self.sim.at(done, self._execute, cmd, nbytes)
+        media_fault = False
+        if self._media_error_next > 0:
+            self._media_error_next -= 1
+            media_fault = True
+        self.sim.at(done, self._execute, cmd, nbytes, media_fault)
 
-    def _execute(self, cmd: NVMeCommand, nbytes: int) -> None:
+    def _execute(self, cmd: NVMeCommand, nbytes: int,
+                 media_fault: bool = False) -> None:
         if self.failed:
             self._complete(cmd, NVME_STATUS_FAILED, 0.0)
+            return
+        if media_fault:
+            # The command paid its media latency but the read/program failed;
+            # no data moved (a correctable, retriable AER event).
+            self.media_errors += 1
+            self.aer.non_fatal += 1
+            self.tracer.instant("ssd.media_error", category="fault",
+                                track=self.name, slba=cmd.slba)
+            self._complete(cmd, NVME_STATUS_MEDIA, 0.0)
             return
         bs = self.config.block_size
         if cmd.opcode == NVME_OP_WRITE:
@@ -125,6 +151,7 @@ class SimSSD(PCIeDevice):
 
     def _complete(self, cmd: NVMeCommand, status: int, nbytes: float) -> None:
         self._pending -= 1
+        self.completions += 1
         if self.on_completion is not None:
             self.on_completion(
                 Completion(descriptor=cmd, status=status, length=int(nbytes),

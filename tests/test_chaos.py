@@ -1,11 +1,18 @@
-"""Chaos testing: random control-plane operation sequences.
+"""Chaos testing: random control- and data-plane operation sequences.
 
 Hypothesis drives random interleavings of instance launches, NIC failures,
-migrations, rebalances and time advancement against a live pod, then checks
-the control plane's global invariants: every live instance has a healthy
-NIC and a valid lease, allocated bandwidth accounting is non-negative and
-conserved, and the datapath still moves packets afterwards.
+migrations, rebalances, data-plane faults (CXL link spikes, lost cacheline
+writebacks, SSD media errors, switch frame drops) and time advancement
+against a live pod, then checks the control plane's global invariants:
+every live instance has a healthy NIC and a valid lease, allocated
+bandwidth accounting is non-negative and conserved, and the datapath still
+moves packets afterwards.
+
+``CHAOS_MAX_EXAMPLES`` scales the search effort (raised in the nightly
+chaos CI job).
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -17,11 +24,17 @@ from repro.errors import AllocationError
 from repro.net.packet import make_ip
 from repro.workloads.echo import EchoClient, EchoServer
 
+MAX_EXAMPLES = int(os.environ.get("CHAOS_MAX_EXAMPLES", "25"))
+
 Op = st.one_of(
     st.tuples(st.just("launch"), st.integers(0, 3)),       # host index
     st.tuples(st.just("fail_nic"), st.integers(0, 2)),     # nic index
     st.tuples(st.just("migrate"), st.integers(0, 15)),     # instance index
     st.tuples(st.just("rebalance"), st.just(0)),
+    st.tuples(st.just("link_spike"), st.integers(0, 3)),   # host index
+    st.tuples(st.just("wb_loss"), st.integers(0, 3)),      # host index
+    st.tuples(st.just("ssd_media"), st.integers(1, 2)),    # armed count
+    st.tuples(st.just("switch_drop"), st.integers(1, 2)),  # armed count
     st.tuples(st.just("advance"), st.integers(1, 30)),     # x10 ms
 )
 
@@ -31,15 +44,30 @@ def build_pod():
     hosts = [pod.add_host() for _ in range(4)]
     nics = [pod.add_nic(hosts[i]) for i in range(3)]
     pod.add_nic(hosts[3], is_backup=True)
-    return pod, hosts, nics
+    ssd = pod.add_ssd(hosts[0])
+    return pod, hosts, nics, ssd
+
+
+def apply_data_plane_fault(pod, hosts, ssd, op, arg):
+    """Shared handler for the data-plane ops in the alphabet."""
+    if op == "link_spike":
+        host = hosts[arg]
+        pod.pool.set_link_fault(host.name, derate=4.0)
+        pod.sim.schedule(0.01, pod.pool.clear_link_fault, host.name)
+    elif op == "wb_loss":
+        hosts[arg].shared.cache.inject_writeback_fault(count=1)
+    elif op == "ssd_media":
+        ssd.inject_media_error(arg)
+    elif op == "switch_drop":
+        pod.switch.inject_drop(arg)
 
 
 class TestControlPlaneChaos:
     @given(st.lists(Op, min_size=1, max_size=25))
-    @settings(max_examples=25, deadline=None,
+    @settings(max_examples=MAX_EXAMPLES, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
     def test_invariants_hold_under_random_operations(self, ops):
-        pod, hosts, nics = build_pod()
+        pod, hosts, nics, ssd = build_pod()
         launched = []
         next_ip = 1
         for op, arg in ops:
@@ -68,6 +96,8 @@ class TestControlPlaneChaos:
                         pod.allocator.migrate(ip, target)
             elif op == "rebalance":
                 pod.allocator.rebalance_once()
+            elif op in ("link_spike", "wb_loss", "ssd_media", "switch_drop"):
+                apply_data_plane_fault(pod, hosts, ssd, op, arg)
             elif op == "advance":
                 pod.run(arg * 0.01)
         pod.run(0.3)   # let any in-flight failover settle
@@ -97,10 +127,10 @@ class TestControlPlaneChaos:
         pod.stop()
 
     @given(st.lists(Op, min_size=1, max_size=15), st.integers(0, 1000))
-    @settings(max_examples=10, deadline=None,
+    @settings(max_examples=max(10, MAX_EXAMPLES // 2), deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
     def test_datapath_still_works_after_chaos(self, ops, seed):
-        pod, hosts, nics = build_pod()
+        pod, hosts, nics, ssd = build_pod()
         ip = make_ip(10, 0, 0, 200)
         inst = pod.add_instance(hosts[0], ip=ip)
         EchoServer(pod.sim, inst)
@@ -111,6 +141,8 @@ class TestControlPlaneChaos:
                            if not d.failed]
                 if not nic.failed and len(healthy) > 1:
                     nic.fail()
+            elif op in ("link_spike", "wb_loss", "ssd_media", "switch_drop"):
+                apply_data_plane_fault(pod, hosts, ssd, op, arg)
             elif op == "advance":
                 pod.run(arg * 0.01)
             elif op == "rebalance":
@@ -118,7 +150,14 @@ class TestControlPlaneChaos:
         pod.run(0.3)
         client = pod.add_external_client(ip=make_ip(10, 0, 9, 1))
         echo = EchoClient(pod.sim, client, ip, rate_pps=2000)
+        # Faults armed during the op phase but not yet consumed will eat
+        # echo frames -- budget for them instead of hiding them.
+        armed = pod.switch._drop_next
+        for host in hosts:
+            fault = host.shared.cache._wb_fault
+            if fault is not None:
+                armed += fault["count"]
         echo.start(0.05)
         pod.run(0.1)
-        assert echo.stats.received > 0.9 * echo.stats.sent
+        assert echo.stats.received >= 0.9 * echo.stats.sent - armed
         pod.stop()

@@ -1,0 +1,212 @@
+"""Property tests: descriptor rings conserve completions under any
+interleaving of posts, completions and injected faults.
+
+Hypothesis drives random op sequences against a real :class:`SimNIC` TX path
+and a real :class:`SimSSD` submission queue -- including mid-transfer DMA
+aborts, media errors and device fail/restore -- and asserts the conservation
+contract the Oasis drivers depend on:
+
+* nothing posted is ever lost: every descriptor completes exactly once
+  (possibly with an error status);
+* nothing completes that was never posted (no duplicates, no phantoms);
+* successful completions arrive in post order (the ring is a FIFO; an error
+  completion may only overtake work already in flight when the device dies,
+  never reorder past it);
+* after quiescence the ring is empty.
+
+``CHAOS_MAX_EXAMPLES`` scales the search effort (raised in the nightly
+chaos CI job).
+"""
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import NICConfig, SSDConfig
+from repro.errors import DeviceError
+from repro.mem.cxl import CXLMemoryPool
+from repro.net.packet import Frame
+from repro.net.switch import LearningSwitch
+from repro.pcie.nic import TX_STATUS_OK, SimNIC
+from repro.pcie.queues import DescriptorRing, NVMeCommand, TxDescriptor
+from repro.pcie.ssd import NVME_OP_READ, NVME_OP_WRITE, SimSSD
+from repro.sim.core import Simulator, USEC
+
+MAX_EXAMPLES = int(os.environ.get("CHAOS_MAX_EXAMPLES", "25"))
+
+CHAOS_SETTINGS = settings(max_examples=MAX_EXAMPLES, deadline=None,
+                          suppress_health_check=[HealthCheck.too_slow])
+
+
+# -- direct ring semantics -----------------------------------------------------
+
+RingOp = st.one_of(
+    st.tuples(st.just("post"), st.integers(0, 1 << 16)),
+    st.tuples(st.just("pop"), st.just(0)),
+)
+
+
+class TestDescriptorRingModel:
+    @given(st.lists(RingOp, max_size=60), st.integers(1, 8))
+    @CHAOS_SETTINGS
+    def test_ring_matches_fifo_model(self, ops, depth):
+        ring = DescriptorRing(depth, "model")
+        model = []
+        for op, value in ops:
+            if op == "post":
+                if len(model) >= depth:
+                    try:
+                        ring.post(value)
+                        assert False, "post succeeded on a full ring"
+                    except DeviceError:
+                        pass
+                else:
+                    ring.post(value)
+                    model.append(value)
+            else:
+                if model:
+                    assert ring.pop() == model.pop(0)
+                else:
+                    try:
+                        ring.pop()
+                        assert False, "pop succeeded on an empty ring"
+                    except DeviceError:
+                        pass
+            assert len(ring) == len(model)
+            assert ring.full == (len(model) >= depth)
+            assert ring.empty == (not model)
+        assert ring.drain() == model
+
+
+# -- NIC TX path under faults ---------------------------------------------------
+
+NicOp = st.one_of(
+    st.tuples(st.just("post"), st.integers(0, 3)),       # payload variant
+    st.tuples(st.just("abort"), st.integers(1, 2)),      # arm N DMA aborts
+    st.tuples(st.just("fail"), st.just(0)),
+    st.tuples(st.just("restore"), st.just(0)),
+    st.tuples(st.just("run"), st.integers(1, 50)),       # x10 us
+)
+
+
+def _nic_harness():
+    """A bare NIC cabled to an empty switch, DMAing real frames from a pool."""
+    from repro.config import OasisConfig
+    from repro.host.host import Host
+
+    sim = Simulator()
+    pool = CXLMemoryPool()
+    host = Host(sim, "h0", pool, OasisConfig(), 0)
+    nic = SimNIC(sim, host, mac=0x02_00_00_00_00_01, config=NICConfig())
+    nic.connect(LearningSwitch(sim).new_port())
+    return sim, host, nic
+
+
+class TestNicTxConservation:
+    @given(st.lists(NicOp, min_size=1, max_size=40))
+    @CHAOS_SETTINGS
+    def test_every_posted_descriptor_completes_exactly_once(self, ops):
+        sim, host, nic = _nic_harness()
+        completions = []
+        nic.on_tx_complete = lambda c: completions.append(c)
+
+        posted = []
+        addr = 1 << 12
+        for op, arg in ops:
+            if op == "post":
+                if nic.failed or nic.tx_ring.full:
+                    continue
+                frame = Frame(dst_mac=0xFF, src_mac=nic.mac,
+                              wire_size=64 + 64 * arg)
+                data = frame.pack()
+                host.dma_write(addr, data, category="payload")
+                desc = TxDescriptor(addr=addr, length=len(data), cookie=len(posted))
+                addr += 1 << 12
+                nic.post_tx(desc)
+                posted.append(desc)
+            elif op == "abort":
+                nic.inject_dma_abort(arg)
+            elif op == "fail":
+                if not nic.failed:
+                    nic.fail()
+            elif op == "restore":
+                if nic.failed:
+                    nic.restore()
+            elif op == "run":
+                sim.run(until=sim.now + arg * 10 * USEC)
+        if nic.failed:
+            nic.restore()
+        sim.run(until=sim.now + 0.01)   # quiesce
+
+        # Conservation: exactly one completion per posted descriptor.
+        assert len(completions) == len(posted)
+        seen = [c.descriptor.cookie for c in completions]
+        assert sorted(seen) == list(range(len(posted)))
+        # Fence/order: successful completions never reorder -- the cookies of
+        # OK completions form an increasing subsequence of post order.
+        ok = [c.descriptor.cookie for c in completions
+              if c.status == TX_STATUS_OK]
+        assert ok == sorted(ok)
+        assert nic.tx_ring.empty
+        assert nic.tx_completions == len(posted)
+
+
+# -- SSD submission queue under faults -----------------------------------------
+
+SsdOp = st.one_of(
+    st.tuples(st.just("read"), st.integers(0, 63)),      # valid slba
+    st.tuples(st.just("write"), st.integers(0, 63)),
+    st.tuples(st.just("bad"), st.just(0)),               # out-of-range slba
+    st.tuples(st.just("media"), st.integers(1, 2)),
+    st.tuples(st.just("fail"), st.just(0)),
+    st.tuples(st.just("restore"), st.just(0)),
+    st.tuples(st.just("run"), st.integers(1, 40)),       # x25 us
+)
+
+
+class TestSsdCompletionConservation:
+    @given(st.lists(SsdOp, min_size=1, max_size=40))
+    @CHAOS_SETTINGS
+    def test_every_submitted_command_completes_exactly_once(self, ops):
+        from repro.config import OasisConfig
+        from repro.host.host import Host
+
+        sim = Simulator()
+        pool = CXLMemoryPool()
+        host = Host(sim, "h0", pool, OasisConfig(), 0)
+        ssd = SimSSD(sim, host, SSDConfig())
+        completions = []
+        ssd.on_completion = lambda c: completions.append(c)
+
+        submitted = 0
+        addr = 1 << 16
+        for op, arg in ops:
+            if op in ("read", "write", "bad"):
+                slba = ssd.num_blocks + 10 if op == "bad" else arg
+                opcode = NVME_OP_WRITE if op == "write" else NVME_OP_READ
+                cmd = NVMeCommand(opcode=opcode, slba=slba, nlb=1, addr=addr,
+                                  cid=submitted, cookie=submitted)
+                addr += 1 << 13
+                try:
+                    ssd.submit(cmd)
+                except DeviceError:
+                    continue   # failed device or full SQ rejects: no tracking
+                submitted += 1
+            elif op == "media":
+                ssd.inject_media_error(arg)
+            elif op == "fail":
+                if not ssd.failed:
+                    ssd.fail()
+            elif op == "restore":
+                if ssd.failed:
+                    ssd.restore()
+            elif op == "run":
+                sim.run(until=sim.now + arg * 25 * USEC)
+        sim.run(until=sim.now + 0.05)   # quiesce
+
+        assert len(completions) == submitted
+        cookies = sorted(c.descriptor.cookie for c in completions)
+        assert cookies == list(range(submitted))
+        assert ssd.sq.empty
+        assert ssd.completions == submitted

@@ -202,12 +202,18 @@ class FailoverConfig:
     mac_borrow_ms: float = 2.0              # GARP-style borrow frame + relearn
     host_failure_missed_telemetry: int = 3  # missed records before host declared dead
     migration_grace_period_s: float = 5.0   # dual-NIC RX window during migration
+    lease_sweep_interval_ms: float = 250.0  # expiry sweep period (lease lifecycle)
+    commit_retry_ms: float = 20.0           # re-propose queued commands to a new leader
 
     def validate(self) -> None:
         if self.link_monitor_interval_ms <= 0:
             raise ConfigError("link_monitor_interval_ms must be positive")
         if self.lease_ttl_ms <= self.telemetry_interval_ms:
             raise ConfigError("lease TTL must exceed the telemetry interval")
+        if self.lease_sweep_interval_ms <= 0:
+            raise ConfigError("lease_sweep_interval_ms must be positive")
+        if self.commit_retry_ms <= 0:
+            raise ConfigError("commit_retry_ms must be positive")
 
 
 @dataclass(frozen=True)

@@ -8,21 +8,36 @@ instances to the backup NIC, notifies every involved frontend driver and
 triggers MAC borrowing at the backup backend -- the sequence whose end-to-end
 latency is the ~38 ms interruption of Figure 13.
 
-Decisions are committed through a Raft cluster when one is attached
-(:meth:`attach_raft`); side effects run only where the command commits on the
-leader, so a replicated allocator survives leader loss without double-acting.
+State lives in a :class:`~repro.core.control.state.ControlState` applied
+through an :class:`~repro.core.control.state.AllocatorStateMachine`, so the
+whole control plane is a deterministic command stream.  Two command classes:
+
+- **Admission ops** (place, release, migrate, re-acquire, lease expiry) are
+  applied synchronously at decide time -- the service is the sequencer --
+  and replicated asynchronously through Raft, deduplicated by command ID.
+- **Recovery ops** (failover) are *commit-gated*: proposed through Raft and
+  executed only when a leader applies the committed entry.  If the leader
+  crashes mid-failover, the command stays queued, is re-proposed to the new
+  leader after re-election, and the state machine's command-ID dedup makes
+  the failover exactly-once no matter how many times it lands in the log.
+
+Every grant, revoke, failover and migration mints a per-device fencing
+epoch (:class:`~repro.core.control.epoch.EpochTable`); backends reject
+stale-epoch posts with ``FENCED`` so a frontend with a delayed or dropped
+notification cannot corrupt post-failover state.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 from ...config import OasisConfig
 from ...errors import AllocationError
 from ...obs.trace import NULL_TRACER
 from ...sim.core import MSEC, Simulator, USEC
-from .leases import LeaseTable
+from ..control import (AllocatorStateMachine, ControlState, EpochTable,
+                       NotificationBus)
+from ..control.state import copy_device
 from .policy import DeviceState, PlacementPolicy
 from .telemetry import TelemetryStore
 
@@ -44,108 +59,335 @@ class PodAllocator:
         self.config = config or OasisConfig()
         cfg = self.config.failover
         self.policy = policy or PlacementPolicy(allow_oversubscription=4.0)
-        self.devices: Dict[str, DeviceState] = {}
+        self.state = ControlState(lease_ttl_s=cfg.lease_ttl_ms * MSEC)
+        self.machine = AllocatorStateMachine(self.state)
+        self.epochs = EpochTable()
+        self.notify = NotificationBus(sim)
         self.backends: Dict[str, object] = {}     # nic name -> backend driver
         self.frontends: Dict[str, object] = {}    # host name -> frontend driver
+        self.storage_frontends: Dict[str, object] = {}
         self.nic_macs: Dict[str, int] = {}
-        self.assignments: Dict[int, str] = {}     # instance ip -> nic name
-        self.backup_assignments: Dict[int, str] = {}
-        self.leases = LeaseTable(cfg.lease_ttl_ms * MSEC)
         self.telemetry_store = TelemetryStore(cfg.telemetry_interval_ms * MSEC,
                                               cfg.host_failure_missed_telemetry)
-        self._raft = None
-        self.failovers_executed = 0
-        self.migrations_executed = 0
-        self.on_failover: Optional[Callable[[str, str], None]] = None
+        self.on_failover: Optional[Callable[[str, Optional[str]], None]] = None
         self._host_check_task = None
-        # Storage pooling (§3.4): SSDs are placed with the same local-first /
-        # least-loaded policy, tracked separately from NICs.
-        self.storage_devices: Dict[str, DeviceState] = {}
+        self._lease_sweep_task = None
         self.storage_backends: Dict[str, object] = {}
-        self.storage_assignments: Dict[int, str] = {}
+        # Replication: either a single legacy-attached node or a full
+        # cluster with one replica state machine per node.
+        self._raft = None
+        self._raft_nodes: list = []
+        self.replicas: Dict[str, AllocatorStateMachine] = {}
+        self._pending: Dict[str, dict] = {}    # cid -> command awaiting commit
+        self._proposed_at: Dict[str, float] = {}
+        self._effected: set = set()            # cids whose side effects ran
+        self._retry_task = None
+        self._epoch_seq: Dict[str, int] = {}
+        self._cid_seq = 0
+        self._failover_inflight: set = set()
+        self.duplicate_reports = 0
+        self.failover_no_backup = 0
+
+    # -- replicated-state views ----------------------------------------------------
+
+    @property
+    def devices(self) -> Dict[str, DeviceState]:
+        return self.state.devices
+
+    @property
+    def storage_devices(self) -> Dict[str, DeviceState]:
+        return self.state.storage_devices
+
+    @property
+    def leases(self):
+        return self.state.leases
+
+    @property
+    def assignments(self) -> Dict[int, str]:
+        return self.state.assignments
+
+    @property
+    def backup_assignments(self) -> Dict[int, str]:
+        return self.state.backup_assignments
+
+    @property
+    def storage_assignments(self) -> Dict[int, str]:
+        return self.state.storage_assignments
+
+    @property
+    def parked(self) -> Dict[int, tuple]:
+        return self.state.parked
+
+    @property
+    def failovers_executed(self) -> int:
+        return self.state.failovers_executed
+
+    @property
+    def migrations_executed(self) -> int:
+        return self.state.migrations_executed
+
+    @property
+    def lease_expirations(self) -> int:
+        return self.state.lease_expirations
+
+    @property
+    def failover_log(self) -> Dict[str, int]:
+        return self.state.failover_log
+
+    @property
+    def pending_commands(self) -> int:
+        return len(self._pending)
+
+    @property
+    def replicated(self) -> bool:
+        return self._raft is not None or bool(self._raft_nodes)
+
+    def leader_node(self):
+        if self._raft_nodes:
+            for node in self._raft_nodes:
+                if node.alive and node.is_leader:
+                    return node
+            return None
+        if self._raft is not None and self._raft.is_leader:
+            return self._raft
+        return None
 
     # -- wiring --------------------------------------------------------------------
 
     def attach_raft(self, raft_node) -> None:
         """Replicate decisions through ``raft_node`` (apply_cb must be us)."""
         self._raft = raft_node
+        self._start_commit_retry()
+
+    def attach_raft_cluster(self, nodes) -> None:
+        """Replicate through a full cluster: one state-machine replica per
+        node, seeded from a snapshot of the current state; the canonical
+        machine (and its side effects) advance wherever the leader applies."""
+        self._raft = None
+        self._raft_nodes = list(nodes)
+        snap = self.state.snapshot()
+        self.replicas = {}
+        for node in nodes:
+            replica = AllocatorStateMachine(ControlState.restore(snap))
+            self.replicas[node.node_id] = replica
+            node.apply_cb = self._make_apply_cb(node, replica)
+        self._start_commit_retry()
+
+    def _make_apply_cb(self, node, replica):
+        def _apply(index: int, command: dict) -> None:
+            replica.apply(command)
+            if node.is_leader:
+                self._service_apply(command)
+        return _apply
 
     def register_backend(self, backend, capacity_gbps: float,
                          is_backup: bool = False) -> None:
         nic = backend.nic
-        self.devices[nic.name] = DeviceState(
+        device = DeviceState(
             name=nic.name, host=backend.host.name, capacity=capacity_gbps,
             is_backup=is_backup,
         )
+        self.devices[nic.name] = device
+        for replica in self.replicas.values():
+            replica.state.devices[nic.name] = copy_device(device)
         self.backends[nic.name] = backend
         self.nic_macs[nic.name] = nic.mac
+        if self.state.parked:
+            self.sim.schedule(0.0, self._retry_parked)
 
     def register_frontend(self, host_name: str, frontend) -> None:
         self.frontends[host_name] = frontend
+
+    def register_storage_frontend(self, host_name: str, frontend) -> None:
+        self.storage_frontends[host_name] = frontend
 
     def start_host_monitor(self) -> None:
         """Infer host failures from missing telemetry records (§3.5)."""
         interval = self.config.failover.telemetry_interval_ms * MSEC
         self._host_check_task = self.sim.every(interval, self._check_hosts)
 
+    def start_lease_sweeper(self, interval_s: Optional[float] = None) -> None:
+        """Periodically revoke expired leases (lease lifecycle enforcement)."""
+        if self._lease_sweep_task is not None:
+            return
+        if interval_s is None:
+            interval_s = self.config.failover.lease_sweep_interval_ms * MSEC
+        self._lease_sweep_task = self.sim.every(interval_s, self._sweep_leases)
+
+    def stop(self) -> None:
+        for task in (self._host_check_task, self._lease_sweep_task,
+                     self._retry_task):
+            if task is not None:
+                task.cancel()
+        self._host_check_task = None
+        self._lease_sweep_task = None
+        self._retry_task = None
+
+    # -- command plumbing ----------------------------------------------------------
+
+    def _next_cid(self) -> str:
+        self._cid_seq += 1
+        return f"c{self._cid_seq:06d}"
+
+    def _next_epoch(self, device: str) -> int:
+        nxt = max(self._epoch_seq.get(device, 0),
+                  self.epochs.device_epoch.get(device, 0)) + 1
+        self._epoch_seq[device] = nxt
+        return nxt
+
+    def _stamp(self, command: dict) -> dict:
+        command = dict(command)
+        command["cid"] = self._next_cid()
+        command["now"] = self.sim.now
+        return command
+
+    def _service_apply(self, command: dict) -> None:
+        """Canonical apply: mutate state once, run side effects once."""
+        cid = command.get("cid")
+        if cid is None or cid not in self._effected:
+            if self.machine.apply(command):
+                if cid is not None:
+                    self._effected.add(cid)
+                self._execute_effects(command)
+        if cid is not None:
+            self._pending.pop(cid, None)
+            self._proposed_at.pop(cid, None)
+
+    def _decide_commit(self, command: dict) -> dict:
+        """Admission ops: apply at decide time, replicate asynchronously."""
+        command = self._stamp(command)
+        self._service_apply(command)
+        if self.replicated:
+            self._pending[command["cid"]] = command
+            self._try_propose(command)
+        return command
+
+    def _commit(self, command: dict) -> dict:
+        """Recovery ops: queue until a leader commits and applies the entry."""
+        command = self._stamp(command)
+        if not self.replicated:
+            self._service_apply(command)
+            return command
+        self._pending[command["cid"]] = command
+        self._try_propose(command)
+        return command
+
+    def _try_propose(self, command: dict) -> None:
+        leader = self.leader_node()
+        if leader is not None:
+            leader.propose(command)
+            self._proposed_at[command["cid"]] = self.sim.now
+
+    def _start_commit_retry(self) -> None:
+        if self._retry_task is not None:
+            return
+        interval = self.config.failover.commit_retry_ms * MSEC
+        self._retry_task = self.sim.every(interval, self._retry_pending)
+
+    def _retry_pending(self) -> None:
+        """Re-propose queued commands (e.g. after a leader crash) in decide
+        order; duplicate log entries are deduplicated by cid at apply."""
+        if not self._pending:
+            return
+        leader = self.leader_node()
+        if leader is None:
+            return
+        interval = self.config.failover.commit_retry_ms * MSEC
+        for cid in sorted(self._pending):
+            last = self._proposed_at.get(cid, -1.0)
+            if self.sim.now - last >= interval * 0.99:
+                leader.propose(self._pending[cid])
+                self._proposed_at[cid] = self.sim.now
+
+    def apply(self, index: int, command: dict) -> None:
+        """State-machine apply (legacy Raft callback or direct)."""
+        if self._raft is None or self._raft.is_leader:
+            self._service_apply(command)
+
+    def replica_signature(self, node_id: str):
+        replica = self.replicas.get(node_id)
+        return None if replica is None else replica.state.signature()
+
     # -- placement --------------------------------------------------------------------
 
     def place_instance(self, ip: int, host_name: str, nic_demand_gbps: float) -> tuple:
         """Allocate a (primary, backup) NIC pair for a new instance."""
         device = self.policy.choose(self.devices, host_name, nic_demand_gbps)
-        device.allocated += nic_demand_gbps
         backup = self.policy.choose_backup(self.devices, exclude=device.name)
-        self.assignments[ip] = device.name
-        if backup is not None:
-            self.backup_assignments[ip] = backup.name
-        self.leases.grant(ip, device.name, self.sim.now)
-        self.tracer.instant("alloc.place", category="allocator",
-                            track="allocator", ip=ip, nic=device.name,
-                            backup=backup.name if backup else None)
-        self._commit({"op": "place", "ip": ip, "nic": device.name,
-                      "backup": backup.name if backup else None})
+        self._decide_commit({
+            "op": "place", "ip": ip, "host": host_name, "nic": device.name,
+            "backup": backup.name if backup else None,
+            "demand": nic_demand_gbps, "epoch": self._next_epoch(device.name),
+        })
         return device.name, backup.name if backup else None
+
+    def place_pinned(self, ip: int, host_name: str, nic_name: str,
+                     nic_demand_gbps: float = 0.0,
+                     backup: Optional[str] = None) -> int:
+        """Grant ``ip`` on an operator-chosen NIC; returns the minted epoch."""
+        epoch = self._next_epoch(nic_name)
+        self._decide_commit({
+            "op": "place", "ip": ip, "host": host_name, "nic": nic_name,
+            "backup": backup, "demand": nic_demand_gbps, "epoch": epoch,
+        })
+        return epoch
 
     # -- storage placement (§3.4) -----------------------------------------------
 
     def register_storage_backend(self, backend, capacity_tb: float) -> None:
         ssd = backend.ssd
-        self.storage_devices[ssd.name] = DeviceState(
+        device = DeviceState(
             name=ssd.name, host=backend.host.name, capacity=capacity_tb,
         )
+        self.storage_devices[ssd.name] = device
+        for replica in self.replicas.values():
+            replica.state.storage_devices[ssd.name] = copy_device(device)
         self.storage_backends[ssd.name] = backend
 
     def place_storage(self, ip: int, host_name: str, ssd_demand_tb: float) -> str:
         """Allocate an SSD for a new instance; returns the device name."""
         device = self.policy.choose(self.storage_devices, host_name,
                                     ssd_demand_tb)
-        device.allocated += ssd_demand_tb
-        self.storage_assignments[ip] = device.name
-        self.leases.grant(ip, device.name, self.sim.now)
-        self._commit({"op": "place-storage", "ip": ip, "ssd": device.name})
+        self._decide_commit({
+            "op": "place-storage", "ip": ip, "host": host_name,
+            "ssd": device.name, "demand": ssd_demand_tb,
+            "epoch": self._next_epoch(device.name),
+        })
         return device.name
 
+    def place_pinned_storage(self, ip: int, host_name: str, ssd_name: str,
+                             ssd_demand_tb: float = 0.0) -> int:
+        """Grant ``ip`` on an operator-chosen SSD; returns the minted epoch."""
+        epoch = self._next_epoch(ssd_name)
+        self._decide_commit({
+            "op": "place-storage", "ip": ip, "host": host_name,
+            "ssd": ssd_name, "demand": ssd_demand_tb, "epoch": epoch,
+        })
+        return epoch
+
     def release_storage(self, ip: int, ssd_demand_tb: float) -> None:
-        ssd = self.storage_assignments.pop(ip, None)
+        ssd = self.storage_assignments.get(ip)
         if ssd is not None:
-            self.storage_devices[ssd].allocated -= ssd_demand_tb
-            self.leases.revoke(ip, ssd)
-            self._commit({"op": "release-storage", "ip": ip, "ssd": ssd})
+            self._decide_commit({
+                "op": "release-storage", "ip": ip, "ssd": ssd,
+                "demand": ssd_demand_tb,
+                "revoke_epoch": self._next_epoch(ssd),
+            })
 
     def on_storage_telemetry(self, record: dict) -> None:
         self.telemetry_store.ingest(record)
         device = self.storage_devices.get(record["nic"])
         if device is not None:
             device.measured_load = record.get("tx_bw", 0.0) + record.get("rx_bw", 0.0)
-        self.leases.renew_device(record["nic"], self.sim.now)
 
     def release_instance(self, ip: int, nic_demand_gbps: float) -> None:
-        nic = self.assignments.pop(ip, None)
-        self.backup_assignments.pop(ip, None)
+        nic = self.assignments.get(ip)
         if nic is not None:
-            self.devices[nic].allocated -= nic_demand_gbps
-            self.leases.revoke(ip, nic)
-            self._commit({"op": "release", "ip": ip, "nic": nic})
+            self._decide_commit({
+                "op": "release", "ip": ip, "nic": nic,
+                "demand": nic_demand_gbps,
+                "revoke_epoch": self._next_epoch(nic),
+            })
 
     # -- telemetry ----------------------------------------------------------------------
 
@@ -154,7 +396,19 @@ class PodAllocator:
         device = self.devices.get(record["nic"])
         if device is not None:
             device.measured_load = record.get("tx_bw", 0.0) + record.get("rx_bw", 0.0)
-        self.leases.renew_device(record["nic"], self.sim.now)
+
+    def on_frontend_telemetry(self, record: dict) -> None:
+        """Frontends renew their instances' leases; device backends cannot
+        vouch for the writers, only for themselves."""
+        now = self.sim.now
+        for ip in record.get("ips", []):
+            for table in (self.assignments, self.storage_assignments):
+                device = table.get(ip)
+                if device is None:
+                    continue
+                lease = self.state.leases.get(ip, device)
+                if lease is not None and lease.valid(now):
+                    lease.renew(now)
 
     def _check_hosts(self) -> None:
         for host in self.telemetry_store.dead_hosts(self.sim.now):
@@ -169,9 +423,13 @@ class PodAllocator:
     def on_failure_report(self, nic_name: str) -> None:
         """A backend reported its NIC down (or a host went silent)."""
         device = self.devices.get(nic_name)
-        if device is None or device.failed:
+        if device is None:
+            return
+        if device.failed or nic_name in self._failover_inflight:
+            self.duplicate_reports += 1
             return
         device.failed = True
+        self._failover_inflight.add(nic_name)
         # Close the backend's report span (no-op for the silent-host path,
         # which never opened one) and open the allocator-processing span.
         self.tracer.end("failover.report", key=nic_name)
@@ -181,66 +439,238 @@ class PodAllocator:
         self.sim.schedule(processing, self._commit_failover, nic_name)
 
     def _commit_failover(self, nic_name: str) -> None:
-        self._commit({"op": "failover", "nic": nic_name})
-
-    def _commit(self, command: dict) -> None:
-        """Run ``command`` through Raft when attached, else apply directly."""
-        if self._raft is not None and self._raft.is_leader:
-            self._raft.propose(command)
-        else:
-            self.apply(0, command)
-
-    def apply(self, index: int, command: dict) -> None:
-        """State-machine apply (Raft callback or direct)."""
-        if command.get("op") == "failover":
-            # Side effects only where the leader applies (or unreplicated).
-            if self._raft is None or self._raft.is_leader:
-                self._execute_failover(command["nic"])
-
-    def _execute_failover(self, nic_name: str) -> None:
-        cfg = self.config.failover
-        device = self.devices[nic_name]
-        device.failed = True
+        device = self.devices.get(nic_name)
+        if device is None:
+            return
         backup = self.policy.choose_backup(self.devices, exclude=nic_name)
-        if backup is None:
-            raise AllocationError(f"no backup available for failed {nic_name}")
-        self.failovers_executed += 1
-        self.tracer.end("failover.process", key=nic_name, backup=backup.name)
+        moved_ips = sorted(ip for ip, nic in self.assignments.items()
+                           if nic == nic_name)
+        self._commit({
+            "op": "failover", "nic": nic_name,
+            "backup": backup.name if backup else None,
+            "revoke_epoch": self._next_epoch(nic_name),
+            "moved": [[ip, self._next_epoch(backup.name) if backup else 0]
+                      for ip in moved_ips],
+        })
+
+    # -- side effects (leader-only, exactly once per cid) ---------------------------
+
+    def _execute_effects(self, command: dict) -> None:
+        op = command.get("op", "")
+        handler = getattr(self, "_effects_" + op.replace("-", "_"), None)
+        if handler is not None:
+            handler(command)
+
+    def _effects_place(self, cmd: dict) -> None:
+        self.epochs.publish_grant(cmd["nic"], cmd["ip"], cmd.get("epoch", 0))
+        self.tracer.instant("alloc.place", category="allocator",
+                            track="allocator", ip=cmd["ip"], nic=cmd["nic"],
+                            backup=cmd.get("backup"))
+
+    def _effects_reacquire(self, cmd: dict) -> None:
+        cfg = self.config.failover
+        self.epochs.publish_grant(cmd["nic"], cmd["ip"], cmd.get("epoch", 0))
+        host = cmd.get("host")
+        backend = self.backends.get(cmd["nic"])
+        if backend is not None and host is not None:
+            backend.register_instance(cmd["ip"], host)
+        frontend = self.frontends.get(host)
+        if frontend is not None:
+            self.notify.send(host, cfg.notify_frontend_ms * MSEC,
+                             frontend.sync_instance, cmd["ip"], cmd["nic"],
+                             cmd.get("epoch", 0))
+        self.tracer.instant("failover.reacquire", category="failover",
+                            track="failover", ip=cmd["ip"], nic=cmd["nic"])
+
+    def _effects_place_storage(self, cmd: dict) -> None:
+        self.epochs.publish_grant(cmd["ssd"], cmd["ip"], cmd.get("epoch", 0))
+
+    def _effects_reacquire_storage(self, cmd: dict) -> None:
+        cfg = self.config.failover
+        self.epochs.publish_grant(cmd["ssd"], cmd["ip"], cmd.get("epoch", 0))
+        host = cmd.get("host")
+        frontend = self.storage_frontends.get(host)
+        if frontend is not None:
+            self.notify.send(host, cfg.notify_frontend_ms * MSEC,
+                             frontend.set_stamp, cmd["ssd"], cmd["ip"],
+                             cmd.get("epoch", 0))
+
+    def _effects_release(self, cmd: dict) -> None:
+        self.epochs.publish_revoke(cmd["nic"], cmd["ip"],
+                                   cmd.get("revoke_epoch", 0))
+
+    def _effects_release_storage(self, cmd: dict) -> None:
+        self.epochs.publish_revoke(cmd["ssd"], cmd["ip"],
+                                   cmd.get("revoke_epoch", 0))
+
+    def _effects_migrate(self, cmd: dict) -> None:
+        ip, old, new = cmd["ip"], cmd["old"], cmd["new"]
+        backend = self.backends.get(new)
+        frontend = self.frontends.get(cmd.get("host"))
+        self.epochs.publish_grant(new, ip, cmd.get("grant_epoch", 0))
+        if backend is not None and frontend is not None:
+            backend.register_instance(ip, frontend.host.name)
+            frontend.migrate_instance(ip, frontend.link(new),
+                                      epoch=cmd.get("grant_epoch", 0))
+        # The old NIC keeps accepting this instance until the dual-RX grace
+        # window closes; the min-epoch guard keeps a re-grant alive.
+        grace = self.config.failover.migration_grace_period_s
+        self.sim.schedule(grace, self.epochs.publish_revoke, old, ip,
+                          cmd.get("revoke_epoch", 0))
+        self.tracer.instant("alloc.migrate", category="allocator",
+                            track="allocator", ip=ip, old=old, new=new)
+
+    def _effects_failover(self, cmd: dict) -> None:
+        cfg = self.config.failover
+        nic_name = cmd["nic"]
+        info = self.machine.last_failover or {"backup": None, "moved": []}
+        self._failover_inflight.discard(nic_name)
+        backup_name = info.get("backup")
+        revoke_epoch = cmd.get("revoke_epoch", 0)
+        self.epochs.publish_device(nic_name, revoke_epoch)
+        for ip, _epoch in cmd.get("moved", []):
+            self.epochs.publish_revoke(nic_name, ip, revoke_epoch)
+        self.tracer.end("failover.process", key=nic_name, backup=backup_name)
+        if backup_name is None:
+            # Graceful degradation: no backup available.  Instances are
+            # parked; they re-acquire when a backend registers (or the
+            # sweeper retries).
+            self.failover_no_backup += 1
+            self.tracer.instant("failover.no_backup", category="failover",
+                                track="failover", nic=nic_name,
+                                parked=len(info.get("moved", [])))
+            for host, frontend in self.frontends.items():
+                self.notify.send(host, cfg.notify_frontend_ms * MSEC,
+                                 frontend.fail_over, nic_name, None, {})
+            if self.on_failover is not None:
+                self.on_failover(nic_name, None)
+            return
         self.tracer.begin("failover.reroute", key=nic_name,
                           category="failover", track="failover",
-                          nic=nic_name, backup=backup.name)
+                          nic=nic_name, backup=backup_name)
         # The reroute phase ends once the slower of the two parallel legs
         # (frontend notification / MAC borrowing) has landed.
         reroute_ms = max(cfg.notify_frontend_ms, cfg.mac_borrow_ms)
         self.sim.schedule(reroute_ms * MSEC, self.tracer.end,
                           "failover.reroute", nic_name)
-
-        # Revoke all leases on the failed device; re-grant on the backup.
-        moved = 0
-        for lease in self.leases.revoke_device(nic_name):
-            self.leases.grant(lease.instance_ip, backup.name, self.sim.now)
-            self.assignments[lease.instance_ip] = backup.name
-            moved += 1
-        backup.allocated += device.allocated
-        device.allocated = 0.0
-
+        epoch_map = {ip: epoch for ip, epoch in cmd.get("moved", [])}
+        for ip, epoch in cmd.get("moved", []):
+            self.epochs.publish_grant(backup_name, ip, epoch)
+        backup_backend = self.backends.get(backup_name)
+        if backup_backend is not None:
+            for ip in info.get("moved", []):
+                host = self.state.hosts.get(ip)
+                if host is not None:
+                    backup_backend.register_instance(ip, host)
         # Notify every frontend using the failed NIC; they atomically reroute
         # TX traffic (buffers are already in shared CXL memory) to the
-        # replacement we picked.
-        for frontend in self.frontends.values():
-            self.sim.schedule(
-                cfg.notify_frontend_ms * MSEC, frontend.fail_over, nic_name,
-                backup.name,
-            )
+        # replacement we picked, adopting the new fencing epochs.
+        for host, frontend in self.frontends.items():
+            self.notify.send(host, cfg.notify_frontend_ms * MSEC,
+                             frontend.fail_over, nic_name, backup_name,
+                             epoch_map)
         # The backup NIC borrows the failed NIC's MAC so the switch reroutes
         # RX packets without application involvement.
-        backup_backend = self.backends[backup.name]
-        failed_mac = self.nic_macs[nic_name]
-        self.sim.schedule(
-            cfg.mac_borrow_ms * MSEC, backup_backend.borrow_mac, failed_mac
-        )
+        failed_mac = self.nic_macs.get(nic_name)
+        if backup_backend is not None and failed_mac is not None:
+            self.sim.schedule(cfg.mac_borrow_ms * MSEC,
+                              backup_backend.borrow_mac, failed_mac)
         if self.on_failover is not None:
-            self.on_failover(nic_name, backup.name)
+            self.on_failover(nic_name, backup_name)
+
+    def _effects_expire(self, cmd: dict) -> None:
+        for ip, device, revoke_epoch, _kind in cmd.get("entries", []):
+            self.epochs.publish_revoke(device, ip, revoke_epoch)
+            self.tracer.instant("lease.expire", category="allocator",
+                                track="allocator", ip=ip, device=device)
+
+    # -- lease lifecycle ----------------------------------------------------------
+
+    def _sweep_leases(self) -> None:
+        now = self.sim.now
+        entries = []
+        for lease in self.state.leases.expired(now):
+            device = lease.device
+            if device in self.devices:
+                kind = "nic"
+            elif device in self.storage_devices:
+                kind = "ssd"
+            else:
+                continue
+            entries.append([lease.instance_ip, device,
+                            self._next_epoch(device), kind])
+        if entries:
+            entries.sort()
+            self._decide_commit({"op": "expire", "entries": entries})
+        if self.state.parked:
+            self._retry_parked()
+
+    def _retry_parked(self) -> None:
+        for ip, (host, demand) in sorted(self.state.parked.items()):
+            self._reacquire(ip, host)
+
+    def _reacquire(self, ip: int, host_name: Optional[str]) -> bool:
+        entry = self.state.parked.get(ip)
+        demand = entry[1] if entry is not None else self.state.demands.get(ip, 0.0)
+        host = (entry[0] if entry is not None and entry[0] else host_name) or ""
+        try:
+            device = self.policy.choose(self.devices, host, demand)
+        except AllocationError:
+            return False
+        backup = self.policy.choose_backup(self.devices, exclude=device.name)
+        self._decide_commit({
+            "op": "reacquire", "ip": ip, "host": host, "nic": device.name,
+            "backup": backup.name if backup else None, "demand": demand,
+            "epoch": self._next_epoch(device.name),
+        })
+        return True
+
+    def resync_instance(self, ip: int, host_name: str) -> None:
+        """A fenced frontend asked where instance ``ip`` lives now."""
+        cfg = self.config.failover
+        now = self.sim.now
+        nic = self.assignments.get(ip)
+        if nic is not None and not self.devices[nic].failed:
+            lease = self.state.leases.get(ip, nic)
+            if lease is not None and lease.valid(now):
+                # The frontend just missed a notification: resend it.
+                frontend = self.frontends.get(host_name)
+                if frontend is not None:
+                    epoch = self.epochs.entry(nic, ip) or lease.epoch
+                    self.notify.send(host_name, cfg.notify_frontend_ms * MSEC,
+                                     frontend.sync_instance, ip, nic, epoch)
+                return
+            # Expired under the frontend: revoke, then re-acquire fresh --
+            # never silently reuse a dead lease.
+            self._decide_commit({"op": "expire", "entries": [
+                [ip, nic, self._next_epoch(nic), "nic"]]})
+            self._reacquire(ip, host_name)
+            return
+        if nic is None or ip in self.state.parked:
+            self._reacquire(ip, host_name)
+        # Otherwise the device failed but its failover has not applied yet;
+        # the failover (or a later resync) will re-home the instance.
+
+    def resync_storage(self, ip: int, host_name: str) -> None:
+        """A fenced storage frontend asked for a fresh grant."""
+        cfg = self.config.failover
+        now = self.sim.now
+        ssd = self.storage_assignments.get(ip)
+        if ssd is None:
+            return
+        lease = self.state.leases.get(ip, ssd)
+        if lease is not None and lease.valid(now):
+            frontend = self.storage_frontends.get(host_name)
+            if frontend is not None:
+                epoch = self.epochs.entry(ssd, ip) or lease.epoch
+                self.notify.send(host_name, cfg.notify_frontend_ms * MSEC,
+                                 frontend.set_stamp, ssd, ip, epoch)
+            return
+        self._decide_commit({
+            "op": "reacquire-storage", "ip": ip, "host": host_name,
+            "ssd": ssd, "demand": self.state.storage_demands.get(ip, 0.0),
+            "epoch": self._next_epoch(ssd),
+        })
 
     # -- load balancing (§3.3.4) ------------------------------------------------------------------
 
@@ -250,19 +680,12 @@ class PodAllocator:
         if old_nic == new_nic or old_nic is None:
             return
         frontend = self._frontend_of(ip)
-        new_backend = self.backends[new_nic]
-        new_backend.register_instance(ip, frontend.host.name)
-        new_link = frontend.link(new_nic)
-        frontend.migrate_instance(ip, new_link)
-        self.leases.revoke(ip, old_nic)
-        self.leases.grant(ip, new_nic, self.sim.now)
-        self.assignments[ip] = new_nic
-        self.devices[old_nic].allocated -= demand_gbps
-        self.devices[new_nic].allocated += demand_gbps
-        self.migrations_executed += 1
-        self.tracer.instant("alloc.migrate", category="allocator",
-                            track="allocator", ip=ip, old=old_nic, new=new_nic)
-        self._commit({"op": "migrate", "ip": ip, "nic": new_nic})
+        self._decide_commit({
+            "op": "migrate", "ip": ip, "old": old_nic, "new": new_nic,
+            "host": frontend.host.name, "demand": demand_gbps,
+            "revoke_epoch": self._next_epoch(old_nic),
+            "grant_epoch": self._next_epoch(new_nic),
+        })
 
     def rebalance_once(self, demand_gbps: float = 0.0) -> Optional[tuple]:
         """Move one instance from the most- to the least-loaded NIC."""
@@ -310,3 +733,15 @@ class AllocatorClient:
         target = (self.allocator.on_storage_telemetry if self.storage
                   else self.allocator.on_telemetry)
         self.sim.schedule(self.latency_s, target, record)
+
+    def frontend_telemetry(self, record: dict) -> None:
+        self.sim.schedule(self.latency_s, self.allocator.on_frontend_telemetry,
+                          record)
+
+    def request_resync(self, ip: int, host_name: str) -> None:
+        self.sim.schedule(self.latency_s, self.allocator.resync_instance,
+                          ip, host_name)
+
+    def request_storage_resync(self, ip: int, host_name: str) -> None:
+        self.sim.schedule(self.latency_s, self.allocator.resync_storage,
+                          ip, host_name)

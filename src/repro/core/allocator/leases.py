@@ -25,6 +25,9 @@ class Lease:
     ttl_s: float
     expires_at: float = field(init=False)
     revoked: bool = False
+    #: Fencing epoch minted when the lease was granted (§3.3.3); stamped on
+    #: every post through the device and checked by the backend.
+    epoch: int = 0
 
     def __post_init__(self):
         self.expires_at = self.granted_at + self.ttl_s
@@ -45,12 +48,13 @@ class LeaseTable:
         self.ttl_s = ttl_s
         self._by_key: Dict[Tuple[int, str], Lease] = {}
 
-    def grant(self, instance_ip: int, device: str, now: float) -> Lease:
+    def grant(self, instance_ip: int, device: str, now: float,
+              epoch: int = 0) -> Lease:
         key = (instance_ip, device)
         existing = self._by_key.get(key)
         if existing is not None and existing.valid(now):
             raise LeaseError(f"lease already held: instance {instance_ip} on {device}")
-        lease = Lease(instance_ip, device, now, self.ttl_s)
+        lease = Lease(instance_ip, device, now, self.ttl_s, epoch=epoch)
         self._by_key[key] = lease
         return lease
 

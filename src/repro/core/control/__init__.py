@@ -1,0 +1,29 @@
+"""Crash-recoverable control plane primitives (§3.3.3/§3.5).
+
+Three pieces the allocator composes:
+
+- :class:`~repro.core.control.epoch.EpochTable` -- per-device fencing epochs,
+  mirrored into CXL-resident metadata, checked by NIC/SSD backends on every
+  post so a stale writer (a frontend whose failover notification was delayed
+  or dropped) is rejected with a ``FENCED`` status instead of corrupting
+  post-failover state.
+- :class:`~repro.core.control.state.ControlState` /
+  :class:`~repro.core.control.state.AllocatorStateMachine` -- the
+  deterministic, snapshot-able state machine replicated through Raft; every
+  command carries a command ID and is applied exactly once per replica.
+- :class:`~repro.core.control.notify.NotificationBus` -- the
+  allocator-to-frontend notification path, made explicit so chaos schedules
+  can delay or drop individual hosts' notifications.
+"""
+
+from .epoch import EPOCH_LINE_BYTES, EpochTable
+from .notify import NotificationBus
+from .state import AllocatorStateMachine, ControlState
+
+__all__ = [
+    "EPOCH_LINE_BYTES",
+    "EpochTable",
+    "NotificationBus",
+    "AllocatorStateMachine",
+    "ControlState",
+]

@@ -30,7 +30,8 @@ from ...pcie.nic import TX_STATUS_DMA_ABORT, SimNIC
 from ...pcie.queues import Completion, RxDescriptor, TxDescriptor
 from ...sim.core import MSEC, Simulator
 from ..engine import Driver
-from .messages import OP_RX, OP_RX_COMP, OP_TX, OP_TX_COMP, NetMessage
+from .messages import (OP_RX, OP_RX_COMP, OP_TX, OP_TX_COMP, OP_TX_FENCED,
+                       NetMessage)
 
 __all__ = ["NetBackend", "FrontendLink"]
 
@@ -78,6 +79,8 @@ class NetBackend(Driver):
         self._rx_comps: deque = deque()
         self._fe_retry: deque = deque()          # (fe_name, message) on full ring
         self.control = None                       # allocator client, set by pod
+        self.epochs = None                        # EpochTable, set by pod
+        self.fencing_enabled = True
         self._monitor_task = None
         self._telemetry_task = None
         self._failure_reported = False
@@ -91,6 +94,8 @@ class NetBackend(Driver):
         self.rx_dropped_unknown = 0
         self.tx_retries = 0       # DMA-aborted descriptors reposted
         self.tx_giveups = 0       # aborted descriptors surfaced as errors
+        self.fence_rejects = 0    # stale-epoch posts answered OP_TX_FENCED
+        self.stale_accepted = 0   # stale posts let through (fencing disabled)
 
         nic.on_tx_complete = self._on_nic_tx_comp
         nic.on_rx = self._on_nic_rx
@@ -199,6 +204,23 @@ class NetBackend(Driver):
         return items, cost
 
     def _handle_tx(self, link: FrontendLink, message: NetMessage) -> float:
+        if (self.epochs is not None
+                and not self.epochs.check(self.nic.name, message.instance_ip,
+                                          message.epoch)):
+            # Stale-epoch writer (§3.3.3): reject before touching the device.
+            if self.fencing_enabled:
+                self.fence_rejects += 1
+                if self.flows.enabled:
+                    flow = self.flows.peek(message.buffer_addr)
+                    if flow is not None:
+                        flow.stage("be.fence", depth=len(self.nic.tx_ring))
+                self._send_to_frontend(
+                    link.name,
+                    NetMessage(OP_TX_FENCED, message.size, message.instance_ip,
+                               message.buffer_addr, epoch=message.epoch),
+                )
+                return self.TX_ITEM_NS
+            self.stale_accepted += 1
         if self.flows.enabled:
             flow = self.flows.peek(message.buffer_addr)
             if flow is not None:
@@ -207,6 +229,7 @@ class NetBackend(Driver):
             addr=message.buffer_addr,
             length=message.size,
             cookie=(message, link.name),
+            epoch=message.epoch,
         )
         descriptor.local = self.tx_buffers_local
         if self.nic.tx_ring.full or self.nic.failed:

@@ -30,9 +30,10 @@ from ...host.instance import Instance
 from ...mem.layout import Region, RegionAllocator
 from ...net.packet import Frame
 from ...obs.flow import NULL_FLOWS
-from ...sim.core import NSEC, USEC, Simulator
+from ...sim.core import MSEC, NSEC, USEC, Simulator
 from ..engine import Driver
-from .messages import OP_RX, OP_RX_COMP, OP_TX, OP_TX_COMP, NetMessage
+from .messages import (OP_RX, OP_RX_COMP, OP_TX, OP_TX_COMP, OP_TX_FENCED,
+                       NetMessage)
 
 __all__ = ["NetFrontend", "VirtualNIC", "BackendLink"]
 
@@ -58,6 +59,7 @@ class _InstanceRecord:
     current_mac: int = 0
     extra_rx: set = field(default_factory=set)   # migration grace-period links
     tx_dropped: int = 0
+    epoch: int = 0   # fencing epoch stamped on every post (§3.3.3)
 
 
 class VirtualNIC:
@@ -99,11 +101,17 @@ class NetFrontend(Driver):
         self._tx_queue: deque = deque()          # (ip, Region, packed_size, wire)
         self._tx_pending: Dict[int, tuple] = {}  # buffer addr -> (Region, ip)
         self._retry: deque = deque()             # (link, NetMessage) on full ring
+        # Control-plane client (set by the pod): lease renewal + resync.
+        self.control = None
+        self._telemetry_task = None
+        self._resync_inflight: set = set()
         # Counters.
         self.tx_forwarded = 0
         self.rx_delivered = 0
         self.rx_unknown_instance = 0
         self.tx_no_buffer = 0
+        self.tx_fenced = 0
+        self.resyncs = 0
 
     # -- wiring -----------------------------------------------------------------
 
@@ -120,6 +128,7 @@ class NetFrontend(Driver):
         instance: Instance,
         primary: BackendLink,
         backup: Optional[BackendLink] = None,
+        epoch: int = 0,
     ) -> VirtualNIC:
         """Attach an instance to this frontend with its allocated NIC."""
         if instance.ip in self._records:
@@ -133,6 +142,7 @@ class NetFrontend(Driver):
             primary=primary,
             backup=backup,
             current_mac=primary.nic_mac,
+            epoch=epoch,
         )
         self._records[instance.ip] = record
         vnic = VirtualNIC(self, instance)
@@ -209,7 +219,8 @@ class NetFrontend(Driver):
             # Write back the TX buffer so the remote NIC's DMA sees it.
             cost += self.domain.cache.clwb_range(region.base, packed, category="payload")
             self._tx_pending[region.base] = (region, ip)
-            message = NetMessage(OP_TX, packed, ip, region.base)
+            message = NetMessage(OP_TX, packed, ip, region.base,
+                                 epoch=record.epoch & 0xFF)
             if self.flows.enabled:
                 flow = self.flows.peek(region.base)
                 if flow is not None:
@@ -260,6 +271,8 @@ class NetFrontend(Driver):
                 message = NetMessage.unpack(raw)
                 if message.opcode == OP_TX_COMP:
                     cost += self._handle_tx_comp(message)
+                elif message.opcode == OP_TX_FENCED:
+                    cost += self._handle_tx_fenced(message)
                 elif message.opcode == OP_RX:
                     cost += self._handle_rx(link, message)
                     comp_batch.append(
@@ -286,6 +299,56 @@ class NetFrontend(Driver):
         if record is not None:
             record.tx_area.free(region)
         return 40.0
+
+    def _handle_tx_fenced(self, message: NetMessage) -> float:
+        """The backend rejected our post as stale: free the buffer and ask
+        the allocator where the instance lives now (never keep writing)."""
+        cost = self._handle_tx_comp(message)
+        self.tx_fenced += 1
+        self._request_resync(message.instance_ip)
+        return cost
+
+    def _request_resync(self, ip: int) -> None:
+        if ip in self._resync_inflight or self.control is None:
+            return
+        self._resync_inflight.add(ip)
+        self.control.request_resync(ip, self.host.name)
+
+    def sync_instance(self, ip: int, device_name: str, epoch: int) -> None:
+        """Allocator push: adopt the authoritative (device, epoch) binding."""
+        record = self._records.get(ip)
+        self._resync_inflight.discard(ip)
+        if record is None:
+            return
+        link = self._links.get(device_name)
+        if link is not None and record.primary.name != device_name:
+            record.primary = link
+        record.epoch = epoch
+        self.resyncs += 1
+        self.kick()
+
+    # -- control-plane telemetry (lease renewal) -----------------------------------
+
+    def start_monitors(self) -> None:
+        """Renew this host's instance leases with the allocator (§3.5)."""
+        if self.control is None or self._telemetry_task is not None:
+            return
+        interval = self.config.failover.telemetry_interval_ms * MSEC
+        self._telemetry_task = self.sim.every(interval, self._send_telemetry)
+
+    def stop_monitors(self) -> None:
+        if self._telemetry_task is not None:
+            self._telemetry_task.cancel()
+            self._telemetry_task = None
+
+    def _send_telemetry(self) -> None:
+        if self.control is None:
+            return
+        self.control.frontend_telemetry({
+            "host": self.host.name,
+            "ips": sorted(self._records),
+            "time": self.sim.now,
+        })
 
     def _handle_rx(self, link: BackendLink, message: NetMessage) -> float:
         """Copy an RX packet out of the shared buffer and hand it over IPC."""
@@ -328,7 +391,8 @@ class NetFrontend(Driver):
     # -- failover & migration (called by the pod-wide allocator client) ---------------
 
     def fail_over(self, failed_link_name: str,
-                  replacement_link_name: Optional[str] = None) -> int:
+                  replacement_link_name: Optional[str] = None,
+                  epochs: Optional[Dict[int, int]] = None) -> int:
         """Reroute every instance on ``failed_link_name`` to the allocator's
         chosen replacement NIC (falling back to the instance's pre-registered
         backup when no replacement is named).
@@ -337,13 +401,16 @@ class NetFrontend(Driver):
         The per-instance backup registration makes the switch instant, but
         the *authoritative* target comes from the allocator: an instance's
         stale backup choice may itself be the failed NIC (e.g. after a
-        migration), which must never be selected.  Returns the number of
-        instances moved.
+        migration), which must never be selected.  ``epochs`` carries the
+        fresh per-instance fencing epochs minted by the failover; an
+        instance moved without one keeps its stale epoch and will be fenced
+        into a resync on first post.  Returns the number of instances moved.
         """
         replacement = (self._links.get(replacement_link_name)
                        if replacement_link_name else None)
+        epochs = epochs or {}
         moved = 0
-        for record in self._records.values():
+        for ip, record in self._records.items():
             if record.primary.name != failed_link_name:
                 continue
             target = replacement
@@ -352,6 +419,8 @@ class NetFrontend(Driver):
             if target is None or target.name == failed_link_name:
                 continue   # nowhere safe to go; allocator will retry
             record.primary = target
+            if ip in epochs:
+                record.epoch = epochs[ip]
             if record.backup is not None and \
                     record.backup.name in (failed_link_name, target.name):
                 record.backup = None
@@ -360,13 +429,16 @@ class NetFrontend(Driver):
         return moved
 
     def migrate_instance(self, ip: int, new_link: BackendLink,
-                         grace_period_s: Optional[float] = None) -> None:
+                         grace_period_s: Optional[float] = None,
+                         epoch: Optional[int] = None) -> None:
         """Gracefully move an instance's traffic to ``new_link`` (§3.3.4)."""
         record = self._records[ip]
         old = record.primary
         record.extra_rx.add(old.name)
         record.primary = new_link
         record.current_mac = new_link.nic_mac
+        if epoch is not None:
+            record.epoch = epoch
         # The instance's stack broadcasts GARP announcing the new MAC.
         self.arp.announce(ip, new_link.nic_mac, garp=True)
         grace = (grace_period_s if grace_period_s is not None

@@ -78,6 +78,10 @@ class CXLPod:
         self.switch = LearningSwitch(self.sim)
         self.arp = ArpRegistry()
         self.allocator = PodAllocator(self.sim, self.config)
+        # CXL-resident device metadata (§3.3.3): one 64 B line per pooled
+        # device mirrors its fencing epoch into pool memory.
+        self.allocator.epochs.attach_mirror(
+            self.pool, self.regions.alloc(4096, "epoch-meta"))
         self.hosts: List[Host] = []
         self.frontends: Dict[str, NetFrontend] = {}
         self.backends: Dict[str, NetBackend] = {}
@@ -128,9 +132,11 @@ class CXLPod:
                                self.arp, self.config)
         frontend.flows = self.flows
         frontend.on_unregister = self._on_migration_unregister
+        frontend.control = AllocatorClient(self.sim, self.allocator)
         self.frontends[host.name] = frontend
         self.allocator.register_frontend(host.name, frontend)
         frontend.start()
+        frontend.start_monitors()
         bindings.bind_cache(self.metrics, host.shared.cache, host.name,
                             domain="cxl")
         bindings.bind_cache(self.metrics, host.local.cache, host.name,
@@ -167,6 +173,7 @@ class CXLPod:
         backend = NetBackend(self.sim, host, nic, rx_domain, rx_region,
                              self.config, tx_buffers_local=(self.mode == "local"))
         backend.control = AllocatorClient(self.sim, self.allocator)
+        backend.epochs = self.allocator.epochs
         nic.tracer = self.tracer
         backend.tracer = self.tracer
         nic.flows = self.flows
@@ -236,13 +243,13 @@ class CXLPod:
             )
             if backup is not None:
                 backup_name = backup.name
-            self.allocator.assignments[ip] = primary_name
-            self.allocator.leases.grant(ip, primary_name, self.sim.now)
-            self.allocator.devices[primary_name].allocated += spec.nic_gbps
+            self.allocator.place_pinned(ip, host.name, primary_name,
+                                        spec.nic_gbps, backup=backup_name)
         else:
             primary_name, backup_name = self.allocator.place_instance(
                 ip, host.name, spec.nic_gbps
             )
+        epoch = self.allocator.epochs.entry(primary_name, ip) or 0
 
         primary_backend = self.backends[primary_name]
         primary_backend.register_instance(ip, host.name)
@@ -253,7 +260,7 @@ class CXLPod:
             backup_backend.register_instance(ip, host.name)
             backup_link = frontend.link(backup_name)
         frontend.register_instance(instance, frontend.link(primary_name),
-                                   backup=backup_link)
+                                   backup=backup_link, epoch=epoch)
         return instance
 
     # -- storage engine (§3.4) ------------------------------------------------------
@@ -269,6 +276,7 @@ class CXLPod:
         self.storage_backends[ssd.name] = backend
         backend.control = AllocatorClient(self.sim, self.allocator,
                                           storage=True)
+        backend.epochs = self.allocator.epochs
         ssd.tracer = self.tracer
         ssd.flows = self.flows
         backend.flows = self.flows
@@ -295,9 +303,11 @@ class CXLPod:
                 region = Region(12 << 30, 256 << 20, f"sbuf-{host.name}-local")
             frontend = StorageFrontend(self.sim, host, domain, region, self.config)
             frontend.flows = self.flows
+            frontend.control = AllocatorClient(self.sim, self.allocator)
             frontend.start()
             bindings.bind_driver(self.metrics, frontend)
             self.storage_frontends[host.name] = frontend
+            self.allocator.register_storage_frontend(host.name, frontend)
         return frontend
 
     def add_block_device(self, instance: Instance, ssd=None):
@@ -311,7 +321,14 @@ class CXLPod:
                 instance.ip, instance.host.name, instance.spec.ssd_tb
             )
             ssd = self.storage_backends[name].ssd
+        else:
+            self.allocator.place_pinned_storage(
+                instance.ip, instance.host.name, ssd.name,
+                instance.spec.ssd_tb
+            )
+        epoch = self.allocator.epochs.entry(ssd.name, instance.ip) or 0
         frontend = self._storage_frontend(instance.host)
+        frontend.set_stamp(ssd.name, instance.ip, epoch)
         backend = self.storage_backends[ssd.name]
         link_key = f"{instance.host.name}-{ssd.name}"
         if ssd.name not in frontend._links:
@@ -350,7 +367,13 @@ class CXLPod:
     # -- control-plane replication --------------------------------------------------------
 
     def enable_raft(self, replicas: int = 3, latency_us: float = 5.0) -> None:
-        """Replicate the allocator with Raft across ``replicas`` hosts."""
+        """Replicate the allocator with Raft across ``replicas`` hosts.
+
+        Each node carries a full replica of the allocator state machine;
+        commands committed through the log apply on every replica, and the
+        leader additionally runs the external side effects (exactly once,
+        deduplicated by command ID across leader changes).
+        """
         transport = DirectTransport(self.sim, latency_us)
         ids = [f"alloc-{i}" for i in range(replicas)]
         for i, node_id in enumerate(ids):
@@ -359,16 +382,33 @@ class CXLPod:
             timeouts = (60.0, 90.0) if i == 0 else (150.0, 300.0)
             node = RaftNode(
                 self.sim, node_id, ids, transport,
-                apply_cb=self.allocator.apply if i == 0 else None,
+                apply_cb=None,
                 election_timeout_ms=timeouts,
                 rng=self.rng.get(f"raft-{node_id}"),
             )
             node.tracer = self.tracer
+            # Pin each replica to a host so host-crash faults take its
+            # control-plane replica down with it.
+            node.host = self.hosts[i % len(self.hosts)] if self.hosts else None
             bindings.bind_raft_node(self.metrics, node)
             self.raft_nodes.append(node)
-        self.allocator.attach_raft(self.raft_nodes[0])
+        self.allocator.attach_raft_cluster(self.raft_nodes)
         for node in self.raft_nodes:
             node.start()
+
+    def set_fencing(self, enabled: bool) -> None:
+        """Toggle epoch fencing at every backend (for overhead comparisons).
+
+        Disabling detaches the epoch table entirely, so the data path pays
+        zero extra cost; re-enabling re-attaches the live table.
+        """
+        table = self.allocator.epochs if enabled else None
+        for backend in self.backends.values():
+            backend.epochs = table
+            backend.fencing_enabled = enabled
+        for backend in self.storage_backends.values():
+            backend.epochs = table
+            backend.fencing_enabled = enabled
 
     # -- failure injection -------------------------------------------------------------------
 
@@ -462,3 +502,6 @@ class CXLPod:
             backend.stop_monitors()
         for backend in self.storage_backends.values():
             backend.stop_monitors()
+        for frontend in self.frontends.values():
+            frontend.stop_monitors()
+        self.allocator.stop()

@@ -25,7 +25,8 @@ from ...pcie.queues import Completion, NVMeCommand
 from ...pcie.ssd import NVME_STATUS_FAILED, SimSSD
 from ...sim.core import Simulator
 from ..engine import Driver
-from .messages import SOP_COMPLETION, SOP_READ, SOP_WRITE, StorageMessage
+from .messages import (SOP_COMPLETION, SOP_READ, SOP_WRITE, STATUS_FENCED,
+                       StorageMessage)
 
 __all__ = ["StorageBackend"]
 
@@ -51,7 +52,11 @@ class StorageBackend(Driver):
         self._completions: deque = deque()
         self.submitted = 0
         self.errored = 0
+        self.fence_rejects = 0    # stale-epoch requests answered STATUS_FENCED
+        self.stale_accepted = 0   # stale requests let through (fencing disabled)
         self.control = None                    # allocator client (set by pod)
+        self.epochs = None                     # EpochTable, set by pod
+        self.fencing_enabled = True
         self._telemetry_task = None
         self._last_read_bytes = 0
         self._last_write_bytes = 0
@@ -91,6 +96,19 @@ class StorageBackend(Driver):
     def _handle_request(self, fe_name: str, message: StorageMessage) -> float:
         if message.opcode not in (SOP_READ, SOP_WRITE):
             return 20.0
+        if (self.epochs is not None
+                and not self.epochs.check(self.ssd.name, message.instance_ip,
+                                          message.epoch)):
+            # Stale-epoch writer (§3.3.3): reject before touching the drive.
+            if self.fencing_enabled:
+                self.fence_rejects += 1
+                if self.flows.enabled:
+                    flow = self.flows.peek(message.buffer_addr)
+                    if flow is not None:
+                        flow.stage("sbe.fence", depth=len(self.ssd.sq))
+                self._send_completion(fe_name, message, STATUS_FENCED)
+                return self.ITEM_NS
+            self.stale_accepted += 1
         if self.flows.enabled:
             flow = self.flows.peek(message.buffer_addr)
             if flow is not None:
@@ -103,6 +121,7 @@ class StorageBackend(Driver):
             addr=message.buffer_addr,
             cid=message.cid,
             cookie=message,
+            epoch=message.epoch,
         )
         try:
             self.ssd.submit(command)
@@ -174,6 +193,7 @@ class StorageBackend(Driver):
         completion = StorageMessage(
             SOP_COMPLETION, request.cid, request.slba, request.nlb,
             request.buffer_addr, request.instance_ip, status=status,
+            epoch=request.epoch,
         )
         try:
             tx.send(completion.pack())

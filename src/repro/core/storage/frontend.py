@@ -11,7 +11,7 @@ never read stale.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from ...config import OasisConfig
 from ...errors import AllocationError, ChannelFullError, DeviceFailedError
@@ -21,7 +21,8 @@ from ...obs.flow import NULL_FLOWS
 from ...pcie.ssd import NVME_STATUS_FAILED, NVME_STATUS_MEDIA
 from ...sim.core import MSEC, NSEC, USEC, Simulator
 from ..engine import Driver
-from .messages import SOP_COMPLETION, SOP_READ, SOP_WRITE, StorageMessage
+from .messages import (SOP_COMPLETION, SOP_READ, SOP_WRITE, STATUS_FENCED,
+                       StorageMessage)
 
 __all__ = ["StorageFrontend", "VirtualBlockDevice", "STATUS_TIMEOUT"]
 
@@ -84,6 +85,13 @@ class StorageFrontend(Driver):
         self.retries = 0
         self.timeouts = 0
         self.giveups = 0
+        # Fencing (§3.3.3): per-(backend, instance) epoch stamps put on the
+        # wire, refreshed through the allocator after a FENCED rejection.
+        self.control = None                          # allocator client
+        self._stamps: Dict[Tuple[str, int], int] = {}
+        self._resync_inflight: set = set()
+        self.fenced = 0
+        self.resyncs = 0
 
     def connect_backend(self, name: str, tx, rx) -> None:
         self._links[name] = (tx, rx)
@@ -94,6 +102,24 @@ class StorageFrontend(Driver):
         if backend_name not in self._links:
             raise AllocationError(f"no storage backend link {backend_name}")
         return VirtualBlockDevice(self, instance, backend_name, block_size)
+
+    # -- fencing epochs (§3.3.3) --------------------------------------------------
+
+    def set_stamp(self, backend_name: str, ip: int, epoch: int) -> None:
+        """Adopt a fresh fencing epoch for (backend, instance)."""
+        self._stamps[(backend_name, ip)] = epoch
+        if (backend_name, ip) in self._resync_inflight:
+            self._resync_inflight.discard((backend_name, ip))
+            self.resyncs += 1
+
+    def _stamp_for(self, backend_name: str, ip: int) -> int:
+        return self._stamps.get((backend_name, ip), 0) & 0xFF
+
+    def _request_resync(self, backend_name: str, ip: int) -> None:
+        if (backend_name, ip) in self._resync_inflight or self.control is None:
+            return
+        self._resync_inflight.add((backend_name, ip))
+        self.control.request_storage_resync(ip, self.host.name)
 
     # -- submission (instance context) ------------------------------------------
 
@@ -123,7 +149,8 @@ class StorageFrontend(Driver):
             "nbytes": len(data), "backend": device.backend_name,
             "lba": lba, "nlb": nlb, "ip": ip, "retries": 0, "attempt": 0,
         }
-        message = StorageMessage(SOP_WRITE, cid, lba, nlb, region.base, ip)
+        message = StorageMessage(SOP_WRITE, cid, lba, nlb, region.base, ip,
+                                 epoch=self._stamp_for(device.backend_name, ip))
         self.sim.schedule(
             self.config.datapath.ipc_hop_us * USEC + store_ns * NSEC,
             self._enqueue, device.backend_name, message,
@@ -151,7 +178,8 @@ class StorageFrontend(Driver):
             "nbytes": nblocks * device.block_size, "backend": device.backend_name,
             "lba": lba, "nlb": nblocks, "ip": ip, "retries": 0, "attempt": 0,
         }
-        message = StorageMessage(SOP_READ, cid, lba, nblocks, region.base, ip)
+        message = StorageMessage(SOP_READ, cid, lba, nblocks, region.base, ip,
+                                 epoch=self._stamp_for(device.backend_name, ip))
         self.sim.schedule(self.config.datapath.ipc_hop_us * USEC,
                           self._enqueue, device.backend_name, message)
         self._arm_timeout(cid)
@@ -228,8 +256,11 @@ class StorageFrontend(Driver):
             # invalidate so the repeated DMA write is read fresh.
             self.domain.cache.clflush_range(region.base, state["nbytes"],
                                             category="payload")
+        # Re-read the stamp: a resync between attempts supplies the fresh epoch.
         message = StorageMessage(state["op"], cid, state["lba"], state["nlb"],
-                                 region.base, state["ip"])
+                                 region.base, state["ip"],
+                                 epoch=self._stamp_for(state["backend"],
+                                                       state["ip"]))
         self._enqueue(state["backend"], message)
         self._arm_timeout(cid)
 
@@ -237,6 +268,17 @@ class StorageFrontend(Driver):
         state = self._pending.get(message.cid)
         if state is None:
             return 20.0   # duplicate or post-timeout completion: ignore
+        if message.status == STATUS_FENCED:
+            # Stale fencing epoch: refresh the lease through the allocator,
+            # then retry -- the resubmission picks up the new stamp.
+            self.fenced += 1
+            self._request_resync(state["backend"], state["ip"])
+            if state["retries"] < self.config.retry.storage_max_retries:
+                self._schedule_retry(message.cid, state)
+                return self.ITEM_NS
+            self.giveups += 1
+            self._finish(message.cid, state, STATUS_FENCED, b"")
+            return self.ITEM_NS
         if message.status in _TRANSIENT_STATUSES:
             if state["retries"] < self.config.retry.storage_max_retries:
                 self._schedule_retry(message.cid, state)

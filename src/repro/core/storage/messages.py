@@ -3,7 +3,9 @@
 Each frontend<->backend storage message mirrors the fields of a 64 B NVMe
 command: opcode, command id, namespace, starting LBA, block count and the
 data buffer pointer in shared CXL memory, plus a status field for
-completions.  The epoch bit lives in the opcode MSB, so opcodes stay < 0x80.
+completions and a one-byte fencing epoch stamp (§3.3.3).  Backends compare
+the stamp against the allocator-published epoch table and answer stale
+requests with ``STATUS_FENCED`` instead of touching the drive.
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ __all__ = [
     "SOP_WRITE",
     "SOP_COMPLETION",
     "SOP_FLUSH",
+    "STATUS_FENCED",
     "STORAGE_MESSAGE_SIZE",
 ]
 
@@ -27,8 +30,13 @@ SOP_READ = 0x02        # mirrors NVMe NVM read
 SOP_FLUSH = 0x03
 SOP_COMPLETION = 0x10  # backend -> frontend CQE
 
-# opcode, flags, cid, nsid, slba, nlb, buffer addr, instance ip, status + pad
-_FMT = struct.Struct("<BBHIQIQIH")
+#: Synthetic completion status: the request carried a stale fencing epoch
+#: and was rejected before reaching the drive (§3.3.3).
+STATUS_FENCED = 0xFD
+
+# opcode, flags, cid, nsid, slba, nlb, buffer addr, instance ip, status,
+# fencing epoch stamp + pad
+_FMT = struct.Struct("<BBHIQIQIHB")
 _PAD = 64 - _FMT.size
 STORAGE_MESSAGE_SIZE = 64
 
@@ -48,18 +56,22 @@ class StorageMessage:
     status: int = 0
     nsid: int = 1
     flags: int = 0
+    epoch: int = 0
 
     def pack(self) -> bytes:
         if self.opcode not in _VALID_OPS:
             raise ChannelError(f"invalid storage opcode {self.opcode:#x}")
         raw = _FMT.pack(self.opcode, self.flags, self.cid, self.nsid, self.slba,
-                        self.nlb, self.buffer_addr, self.instance_ip, self.status)
+                        self.nlb, self.buffer_addr, self.instance_ip,
+                        self.status, self.epoch & 0xFF)
         return raw + b"\x00" * _PAD
 
     @classmethod
     def unpack(cls, data: bytes) -> "StorageMessage":
-        (opcode, flags, cid, nsid, slba, nlb, addr, ip, status) = _FMT.unpack_from(data)
+        (opcode, flags, cid, nsid, slba, nlb, addr, ip, status,
+         epoch) = _FMT.unpack_from(data)
         if opcode not in _VALID_OPS:
             raise ChannelError(f"invalid storage opcode {opcode:#x}")
         return cls(opcode=opcode, cid=cid, slba=slba, nlb=nlb, buffer_addr=addr,
-                   instance_ip=ip, status=status, nsid=nsid, flags=flags)
+                   instance_ip=ip, status=status, nsid=nsid, flags=flags,
+                   epoch=epoch)

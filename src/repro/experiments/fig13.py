@@ -34,6 +34,9 @@ def run(
 
     pod, inst, client_ep, nic0 = build_echo_pod("oasis", remote=True,
                                                 backup_nic=True)
+    # The failover measured is the full replicated control plane's: the
+    # command commits through Raft before its effects run (§3.5).
+    pod.enable_raft()
     # Record just the failover phases; the per-packet channel/DMA events of a
     # multi-second run would be noise here.
     pod.enable_tracing(categories={"failover"})

@@ -34,6 +34,7 @@ def run(
 
     pod, inst, client_ep, nic0 = build_echo_pod("oasis", remote=True,
                                                 backup_nic=True)
+    pod.enable_raft()
     profile = APP_PROFILES["memcached"]
     rng = np.random.default_rng(seed)
     AppServer(pod.sim, inst, profile, rng, port=11211)

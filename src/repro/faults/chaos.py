@@ -24,7 +24,8 @@ from ..workloads.blockio import BlockWorkload
 from ..workloads.echo import EchoClient, EchoServer
 from .plan import FaultPlan, dump_failure_artifact
 
-__all__ = ["DEFAULT_PLAN", "run_chaos", "main_chaos"]
+__all__ = ["DEFAULT_PLAN", "CONTROL_PLAN", "BUILTIN_PLANS", "run_chaos",
+           "main_chaos"]
 
 SERVER_IP = make_ip(10, 0, 0, 1)
 CLIENT_IP = make_ip(10, 0, 9, 1)
@@ -52,6 +53,32 @@ DEFAULT_PLAN = {
     ],
 }
 
+#: The control-plane failover gauntlet: the victim frontend's notifications
+#: are delayed *before* the NIC's switch port goes down, the allocator
+#: leader is crashed between the failure report and the commit of the
+#: failover command, and the failure report is delivered twice more.  The
+#: run must still execute the failover exactly once (post re-election),
+#: fence every stale-epoch post from the lagging frontend, and converge all
+#: replicas.  Timeline (link monitor ticks every 25 ms, detection at 0.325,
+#: failover commit scheduled at ~0.335): the leader crash at 0.331 lands in
+#: between.
+CONTROL_PLAN = {
+    "name": "control-failover",
+    "faults": [
+        {"kind": "notify.delay", "target": "h1", "at": 0.29,
+         "duration": 0.50, "params": {"extra_s": 0.08}},
+        {"kind": "switch.port_down", "target": "nic-h0", "at": 0.301},
+        {"kind": "raft.leader_crash", "at": 0.331, "duration": 0.25},
+        {"kind": "report.duplicate", "target": "nic-h0", "at": 0.34,
+         "params": {"count": 2}},
+    ],
+}
+
+BUILTIN_PLANS = {
+    "default-chaos": DEFAULT_PLAN,
+    "control-failover": CONTROL_PLAN,
+}
+
 
 def build_chaos_pod(seed: int):
     """Three hosts: NIC+SSD on h0, the instance on (NIC-less) h1, backup NIC
@@ -73,6 +100,9 @@ def build_chaos_pod(seed: int):
                       poisson=True, metrics=pod.metrics, flows=pod.flows)
     blockio = BlockWorkload(pod.sim, device, rate_iops=1500.0,
                             rng=pod.rng.get("chaos/blockio"), flows=pod.flows)
+    # Control plane under test too: replicated allocator + lease sweeping.
+    pod.enable_raft(replicas=3)
+    pod.allocator.start_lease_sweeper()
     return pod, echo, blockio
 
 
@@ -159,6 +189,26 @@ def _recovery_counters(pod) -> dict:
     counters["switch.fault_dropped"] = pod.switch.fault_dropped
     counters["switch.fault_duplicated"] = pod.switch.fault_duplicated
     counters["allocator.failovers"] = pod.allocator.failovers_executed
+    # Control plane: fencing, replication and lease-lifecycle counters.
+    for backend in pod.backends.values():
+        counters[f"{backend.name}.fence_rejects"] = backend.fence_rejects
+        counters[f"{backend.name}.stale_accepted"] = backend.stale_accepted
+    for backend in pod.storage_backends.values():
+        counters[f"{backend.name}.fence_rejects"] = backend.fence_rejects
+        counters[f"{backend.name}.stale_accepted"] = backend.stale_accepted
+    for frontend in pod.frontends.values():
+        counters[f"{frontend.name}.tx_fenced"] = frontend.tx_fenced
+        counters[f"{frontend.name}.resyncs"] = frontend.resyncs
+    for frontend in pod.storage_frontends.values():
+        counters[f"{frontend.name}.fenced"] = frontend.fenced
+    allocator = pod.allocator
+    counters["allocator.pending_commands"] = allocator.pending_commands
+    counters["allocator.duplicate_reports"] = allocator.duplicate_reports
+    counters["allocator.failover_no_backup"] = allocator.failover_no_backup
+    counters["allocator.lease_expirations"] = allocator.lease_expirations
+    counters["notify.delivered"] = allocator.notify.delivered
+    counters["notify.delayed"] = allocator.notify.delayed
+    counters["notify.dropped"] = allocator.notify.dropped
     return counters
 
 
@@ -172,7 +222,9 @@ def main_chaos(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=42,
                         help="root seed (drives workloads AND fault times)")
     parser.add_argument("--plan", type=str, default=None,
-                        help="fault plan JSON file (default: built-in plan)")
+                        help="fault plan JSON file or a built-in plan name "
+                             f"({', '.join(sorted(BUILTIN_PLANS))}); "
+                             "default: the built-in default-chaos plan")
     parser.add_argument("--duration", type=float, default=0.5,
                         help="workload duration in sim seconds")
     parser.add_argument("--json", action="store_true",
@@ -180,7 +232,10 @@ def main_chaos(argv=None) -> int:
     args = parser.parse_args(argv)
 
     try:
-        plan = FaultPlan.load(args.plan) if args.plan else None
+        if args.plan in BUILTIN_PLANS:
+            plan = FaultPlan.from_json(json.dumps(BUILTIN_PLANS[args.plan]))
+        else:
+            plan = FaultPlan.load(args.plan) if args.plan else None
     except (OSError, ConfigError) as exc:
         print(f"chaos: cannot load plan {args.plan!r}: {exc}", file=sys.stderr)
         return 2

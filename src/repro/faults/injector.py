@@ -261,6 +261,9 @@ class FaultInjector:
             driver.stop()
             if hasattr(driver, "stop_monitors"):
                 driver.stop_monitors()
+        for node in self.pod.raft_nodes:
+            if getattr(node, "host", None) is host and node.alive:
+                node.crash()
         self._record("inject", spec.kind, host.name,
                      f"devices={len(host.devices)}")
         self._schedule_recovery(spec, self._recover_host, spec.kind, host)
@@ -274,4 +277,52 @@ class FaultInjector:
             if hasattr(driver, "start_monitors"):
                 driver.start_monitors()
             driver.kick()
+        for node in self.pod.raft_nodes:
+            if getattr(node, "host", None) is host and not node.alive:
+                node.restart()
         self._record("recover", kind, host.name)
+
+    # Control plane ----------------------------------------------------------
+
+    def _apply_raft_leader_crash(self, spec) -> None:
+        leader = None
+        for node in self.pod.raft_nodes:
+            if node.alive and node.is_leader:
+                leader = node
+                break
+        if leader is None:
+            self._record("inject", spec.kind, "*", "no-leader")
+            return
+        leader.crash()
+        self._record("inject", spec.kind, leader.node_id)
+        self._schedule_recovery(spec, self._recover_raft_node, spec.kind,
+                                leader)
+
+    def _recover_raft_node(self, kind: str, node) -> None:
+        node.restart()
+        self._record("recover", kind, node.node_id)
+
+    def _apply_notify_delay(self, spec) -> None:
+        host = self._host(spec.target)
+        extra_s = float(spec.params.get("extra_s", 0.05))
+        self.pod.allocator.notify.delay_extra(host.name, extra_s)
+        self._record("inject", spec.kind, host.name, f"+{extra_s}s")
+        self._schedule_recovery(spec, self._recover_notify_delay, spec.kind,
+                                host.name)
+
+    def _recover_notify_delay(self, kind: str, host_name: str) -> None:
+        self.pod.allocator.notify.clear_delay(host_name)
+        self._record("recover", kind, host_name)
+
+    def _apply_notify_drop(self, spec) -> None:
+        host = self._host(spec.target)
+        count = int(spec.params.get("count", 1))
+        self.pod.allocator.notify.drop_next(host.name, count)
+        self._record("inject", spec.kind, host.name, f"count={count}")
+
+    def _apply_report_duplicate(self, spec) -> None:
+        nic = self._nic(spec.target)
+        count = int(spec.params.get("count", 1))
+        for _ in range(count):
+            self.pod.allocator.on_failure_report(nic.name)
+        self._record("inject", spec.kind, nic.name, f"count={count}")

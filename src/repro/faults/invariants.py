@@ -16,7 +16,13 @@ run and at the end, the properties that must survive *any* fault schedule:
 * **allocator accounting** -- allocated bandwidth never goes negative, no
   leases remain on failed devices, assignments point at healthy devices;
 * **flow conservation** -- every completed flow record telescopes (segment
-  durations sum to the end-to-end latency) even when requests were retried.
+  durations sum to the end-to-end latency) even when requests were retried;
+* **control plane** -- at most one valid NIC lease per instance at any time,
+  per-device fencing epochs only ever advance, no backend accepts a
+  stale-epoch post, every failed device fails over exactly once (even across
+  allocator leader crashes), and once a leader exists and the command queue
+  has drained, every caught-up replica's state matches the canonical
+  allocator state.
 
 Faults are allowed to *slow* the system, never to wedge it or corrupt its
 bookkeeping -- the final check therefore also asserts that no request is
@@ -113,6 +119,8 @@ class InvariantChecker:
         self._flow_checked = 0
         self._installed = False
         self._suppressed = 0
+        self._epoch_seen: Dict[str, int] = {}
+        self._stale_seen: Dict[str, int] = {}
 
     # -- recording -----------------------------------------------------------
 
@@ -223,6 +231,39 @@ class InvariantChecker:
             if device.allocated < -1e-9:
                 self.violate("allocator-accounting",
                              f"{device.name}: allocated {device.allocated} < 0")
+        allocator = pod.allocator
+        now = pod.sim.now
+        holders: Dict[int, int] = {}
+        for (ip, dev), lease in allocator.leases._by_key.items():
+            if dev in allocator.devices and lease.valid(now):
+                holders[ip] = holders.get(ip, 0) + 1
+        self._checked("single-valid-holder")
+        for ip, count in holders.items():
+            if count > 1:
+                self.violate(
+                    "single-valid-holder",
+                    f"instance {ip:#x} holds {count} valid NIC leases",
+                )
+        self._checked("monotone-epochs")
+        for device_name, epoch in allocator.epochs.device_epoch.items():
+            last = self._epoch_seen.get(device_name, 0)
+            if epoch < last:
+                self.violate("monotone-epochs",
+                             f"{device_name}: epoch went {last} -> {epoch}")
+            else:
+                self._epoch_seen[device_name] = epoch
+        for backend in (list(pod.backends.values())
+                        + list(pod.storage_backends.values())):
+            self._checked("no-stale-writes")
+            seen = self._stale_seen.get(backend.name, 0)
+            current = backend.stale_accepted
+            if current > seen:
+                self.violate(
+                    "no-stale-writes",
+                    f"{backend.name}: accepted {current - seen} stale-epoch "
+                    f"posts",
+                )
+                self._stale_seen[backend.name] = current
         if pod.flows.enabled:
             records = pod.flows.records
             new = records[self._flow_checked:]
@@ -288,6 +329,48 @@ class InvariantChecker:
                 self.violate("allocator-accounting",
                              f"instance {ip:#x} assigned to failed/unknown "
                              f"device {name}")
+
+        # Exactly-once recovery: every failover command applied exactly once
+        # per device, no matter how many leaders proposed it.
+        for nic, count in allocator.failover_log.items():
+            self._checked("failover-exactly-once")
+            if count != 1:
+                self.violate("failover-exactly-once",
+                             f"{nic}: failover applied {count} times")
+
+        if allocator.replicated:
+            leader = allocator.leader_node()
+            self._checked("control-quiesce")
+            if leader is not None and allocator.pending_commands:
+                self.violate(
+                    "control-quiesce",
+                    f"{allocator.pending_commands} commands still pending "
+                    f"with a live leader",
+                )
+            if leader is not None and not allocator.pending_commands:
+                # Failovers == failed devices, once everything committed.
+                for name, device in allocator.devices.items():
+                    if device.failed:
+                        self._checked("failover-exactly-once")
+                        if allocator.failover_log.get(name, 0) != 1:
+                            self.violate(
+                                "failover-exactly-once",
+                                f"{name}: failed but failover ran "
+                                f"{allocator.failover_log.get(name, 0)} times",
+                            )
+                canonical = allocator.state.signature()
+                for node in pod.raft_nodes:
+                    if (not node.alive
+                            or node.last_applied != leader.last_applied):
+                        continue   # crashed or still catching up
+                    self._checked("replica-convergence")
+                    sig = allocator.replica_signature(node.node_id)
+                    if sig is not None and sig != canonical:
+                        self.violate(
+                            "replica-convergence",
+                            f"{node.node_id}: replica state diverges from "
+                            f"the canonical allocator state",
+                        )
 
         if pod.flows.enabled:
             self._checked("flow-conservation")

@@ -35,12 +35,16 @@ FAULT_KINDS: Dict[str, str] = {
     "switch.duplicate": "switch (target ignored)",
     "switch.port_down": "nic (its switch port)",
     "host.crash": "host",
+    "raft.leader_crash": "ignored (whichever node leads at fire time)",
+    "notify.delay": "host (frontend whose notifications lag)",
+    "notify.drop": "host (frontend losing the next notification(s))",
+    "report.duplicate": "nic (re-deliver its failure report)",
 }
 
 #: Kinds that model one-shot events: ``duration`` makes no sense for them.
 _ONE_SHOT_KINDS = frozenset({
     "cache.writeback_loss", "nic.dma_abort", "ssd.media_error",
-    "switch.drop", "switch.duplicate",
+    "switch.drop", "switch.duplicate", "notify.drop", "report.duplicate",
 })
 
 

@@ -207,6 +207,8 @@ _DRIVER_EXTRA_FIELDS = (
     # fault tolerance (net backend / storage frontend)
     "tx_retries", "tx_giveups",
     "retries", "timeouts", "giveups", "completed_ok", "completed_error",
+    # epoch fencing (§3.3.3): rejections at backends, recoveries at frontends
+    "fence_rejects", "stale_accepted", "tx_fenced", "resyncs", "fenced",
 )
 
 
@@ -233,6 +235,18 @@ def bind_allocator(registry: MetricsRegistry, allocator) -> None:
                       event="migration")
         yield _sample("allocator_telemetry_records",
                       allocator.telemetry_store.records_ingested)
+        yield _sample("allocator_events", allocator.lease_expirations,
+                      event="lease_expiry")
+        yield _sample("allocator_events", allocator.duplicate_reports,
+                      event="duplicate_report")
+        yield _sample("allocator_events", allocator.failover_no_backup,
+                      event="failover_no_backup")
+        yield _sample("allocator_pending_commands",
+                      allocator.pending_commands)
+        yield _sample("fence_epoch_grants", allocator.epochs.grants)
+        yield _sample("fence_epoch_revokes", allocator.epochs.revokes)
+        yield _sample("notify_delivered", allocator.notify.delivered)
+        yield _sample("notify_dropped", allocator.notify.dropped)
         for device in allocator.devices.values():
             yield _sample("allocator_device_allocated", device.allocated,
                           device=device.name, kind="nic")

@@ -26,6 +26,7 @@ class TxDescriptor:
     cookie: Any = None          # opaque driver context, echoed in the completion
     local: bool = False         # buffer lives in host-local DDR (baseline mode)
     retries: int = 0            # times the driver reposted after a DMA abort
+    epoch: int = 0              # fencing epoch stamp carried from the message
 
 
 @dataclass
@@ -47,6 +48,7 @@ class NVMeCommand:
     addr: int                   # data buffer address in shared CXL memory
     cid: int = 0                # command identifier
     cookie: Any = None
+    epoch: int = 0              # fencing epoch stamp carried from the message
 
 
 @dataclass

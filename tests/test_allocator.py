@@ -61,6 +61,37 @@ class TestLeases:
         expired = table.expired(now=2.0)
         assert [l.instance_ip for l in expired] == [1]
 
+    def test_grant_over_expired_replaces_entry(self):
+        table = LeaseTable(ttl_s=1.0)
+        old = table.grant(1, "nic0", now=0.0)
+        new = table.grant(1, "nic0", now=5.0)
+        assert table.get(1, "nic0") is new
+        assert new is not old
+
+    def test_expired_lease_is_invalid_but_unrevoked(self):
+        """Expiry and revocation are distinct: the sweep turns the former
+        into the latter; consumers must check ``valid``, not ``revoked``."""
+        table = LeaseTable(ttl_s=1.0)
+        lease = table.grant(1, "nic0", now=0.0)
+        assert not lease.valid(2.0)
+        assert not lease.revoked
+
+    def test_revoking_expired_leases_empties_sweep_listing(self):
+        """The sweep's contract: revoke everything ``expired`` returns and
+        the listing drains."""
+        table = LeaseTable(ttl_s=1.0)
+        table.grant(1, "nic0", now=0.0)
+        table.grant(2, "nic1", now=0.0)
+        for lease in table.expired(now=2.0):
+            table.revoke(lease.instance_ip, lease.device)
+        assert table.expired(now=2.0) == []
+        assert len(table) == 0
+
+    def test_grant_carries_epoch(self):
+        table = LeaseTable(ttl_s=1.0)
+        lease = table.grant(1, "nic0", now=0.0, epoch=7)
+        assert lease.epoch == 7
+
 
 class TestTelemetryStore:
     def _record(self, nic="nic0", host="h0", t=0.0, bw=1e9):

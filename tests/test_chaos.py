@@ -21,6 +21,7 @@ from hypothesis import strategies as st
 
 from repro.core.pod import CXLPod
 from repro.errors import AllocationError
+from repro.faults import FaultPlan
 from repro.net.packet import make_ip
 from repro.workloads.echo import EchoClient, EchoServer
 
@@ -36,7 +37,16 @@ Op = st.one_of(
     st.tuples(st.just("ssd_media"), st.integers(1, 2)),    # armed count
     st.tuples(st.just("switch_drop"), st.integers(1, 2)),  # armed count
     st.tuples(st.just("advance"), st.integers(1, 30)),     # x10 ms
+    # Control-plane faults: crash the allocator leader (it restarts 200 ms
+    # later), delay one host's notifications, renew leases, or re-deliver a
+    # failure report (possibly a false positive).
+    st.tuples(st.just("leader_crash"), st.just(0)),
+    st.tuples(st.just("notify_delay"), st.integers(0, 3)),  # host index
+    st.tuples(st.just("renew"), st.integers(0, 3)),         # host index
+    st.tuples(st.just("dup_report"), st.integers(0, 2)),    # nic index
 )
+
+CONTROL_OPS = ("leader_crash", "notify_delay", "renew", "dup_report")
 
 
 def build_pod():
@@ -45,7 +55,45 @@ def build_pod():
     nics = [pod.add_nic(hosts[i]) for i in range(3)]
     pod.add_nic(hosts[3], is_backup=True)
     ssd = pod.add_ssd(hosts[0])
+    pod.enable_raft(replicas=3)
+    pod.allocator.start_lease_sweeper()
     return pod, hosts, nics, ssd
+
+
+def apply_control_plane_fault(pod, hosts, nics, op, arg):
+    """Shared handler for the control-plane ops in the alphabet."""
+    allocator = pod.allocator
+    if op == "leader_crash":
+        leader = allocator.leader_node()
+        if leader is not None:
+            leader.crash()
+            pod.sim.schedule(0.2, leader.restart)
+    elif op == "notify_delay":
+        host = hosts[arg]
+        allocator.notify.delay_extra(host.name, 0.05)
+        pod.sim.schedule(0.1, allocator.notify.clear_delay, host.name)
+    elif op == "renew":
+        ips = [ip for ip, host in allocator.state.hosts.items()
+               if host == hosts[arg].name]
+        allocator.on_frontend_telemetry(
+            {"host": hosts[arg].name, "ips": ips, "time": pod.sim.now})
+    elif op == "dup_report":
+        nic = nics[arg]
+        healthy = [d for d in allocator.devices.values() if not d.failed]
+        # A report against a healthy NIC is a false positive (still a
+        # legitimate failover); keep one healthy device as a target.
+        if allocator.devices[nic.name].failed or len(healthy) > 1:
+            allocator.on_failure_report(nic.name)
+
+
+def settle(pod, rounds=12):
+    """Run until the replicated allocator has an elected leader and no
+    queued commands (bounded; only deterministic sim time advances)."""
+    for _ in range(rounds):
+        if (pod.allocator.leader_node() is not None
+                and pod.allocator.pending_commands == 0):
+            return
+        pod.run(0.25)
 
 
 def apply_data_plane_fault(pod, hosts, ssd, op, arg):
@@ -98,9 +146,12 @@ class TestControlPlaneChaos:
                 pod.allocator.rebalance_once()
             elif op in ("link_spike", "wb_loss", "ssd_media", "switch_drop"):
                 apply_data_plane_fault(pod, hosts, ssd, op, arg)
+            elif op in CONTROL_OPS:
+                apply_control_plane_fault(pod, hosts, nics, op, arg)
             elif op == "advance":
                 pod.run(arg * 0.01)
         pod.run(0.3)   # let any in-flight failover settle
+        settle(pod)    # ...and the replicated command queue drain
 
         allocator = pod.allocator
         # 1. Every launched instance is assigned to a non-failed device
@@ -148,6 +199,7 @@ class TestControlPlaneChaos:
             elif op == "rebalance":
                 pod.allocator.rebalance_once()
         pod.run(0.3)
+        settle(pod)   # drain any commit-gated failover before measuring
         client = pod.add_external_client(ip=make_ip(10, 0, 9, 1))
         echo = EchoClient(pod.sim, client, ip, rate_pps=2000)
         # Faults armed during the op phase but not yet consumed will eat
@@ -161,3 +213,87 @@ class TestControlPlaneChaos:
         pod.run(0.1)
         assert echo.stats.received >= 0.9 * echo.stats.sent - armed
         pod.stop()
+
+    @given(st.lists(Op, min_size=1, max_size=20))
+    @settings(max_examples=MAX_EXAMPLES, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_single_valid_holder_under_interleavings(self, ops):
+        """Property: however failovers, migrations, renewals, expiries,
+        leader crashes and duplicate reports interleave, no instance ever
+        ends up holding more than one valid NIC lease -- and any valid
+        lease it holds is on its currently assigned device."""
+        pod, hosts, nics, ssd = build_pod()
+        launched = []
+        next_ip = 1
+        for op, arg in ops:
+            if op == "launch":
+                ip = make_ip(10, 0, 0, next_ip)
+                next_ip += 1
+                try:
+                    pod.add_instance(hosts[arg], ip=ip)
+                    launched.append(ip)
+                except AllocationError:
+                    pass
+            elif op == "fail_nic":
+                nic = nics[arg]
+                healthy = [d for d in pod.allocator.devices.values()
+                           if not d.failed]
+                if not nic.failed and len(healthy) > 1:
+                    nic.fail()
+            elif op == "migrate" and launched:
+                ip = launched[arg % len(launched)]
+                targets = [d.name for d in pod.allocator.devices.values()
+                           if not d.failed and not d.is_backup]
+                if targets:
+                    target = targets[arg % len(targets)]
+                    if pod.allocator.assignments.get(ip) != target:
+                        pod.allocator.migrate(ip, target)
+            elif op in CONTROL_OPS:
+                apply_control_plane_fault(pod, hosts, nics, op, arg)
+            elif op == "advance":
+                pod.run(arg * 0.01)
+        pod.run(0.3)
+        settle(pod)
+
+        allocator = pod.allocator
+        now = pod.sim.now
+        for ip in launched:
+            holders = [dev for (lip, dev), lease
+                       in allocator.leases._by_key.items()
+                       if lip == ip and dev in allocator.devices
+                       and lease.valid(now)]
+            assert len(holders) <= 1
+            assigned = allocator.assignments.get(ip)
+            assert set(holders) <= {assigned}
+        pod.stop()
+
+
+class TestControlFailoverPlan:
+    def test_control_plan_is_deterministic_and_exactly_once(self):
+        """Acceptance: the built-in ``control-failover`` plan (leader crash
+        mid-failover + delayed victim notifications + duplicate reports)
+        completes the failover exactly once, fences every stale post and
+        replays byte-identically from the same root seed."""
+        import json
+
+        from repro.faults.chaos import CONTROL_PLAN, run_chaos
+
+        def once():
+            plan = FaultPlan.from_json(json.dumps(CONTROL_PLAN))
+            return run_chaos(seed=11, plan=plan, duration_s=0.9,
+                             verbose=False)
+
+        first, second = once(), once()
+        for result in (first, second):
+            assert result["ok"], result["verdict"].render()
+            assert result["recovery"]["allocator.failovers"] == 1
+            assert result["recovery"]["allocator.pending_commands"] == 0
+            fence_rejects = sum(v for k, v in result["recovery"].items()
+                                if k.endswith(".fence_rejects"))
+            stale = sum(v for k, v in result["recovery"].items()
+                        if k.endswith(".stale_accepted"))
+            assert fence_rejects >= 1
+            assert stale == 0
+            assert result["recovery"]["allocator.duplicate_reports"] >= 1
+        assert first["events"] == second["events"]
+        assert first["recovery"] == second["recovery"]

@@ -1,0 +1,394 @@
+"""Tests for the replicated, epoch-fenced control plane (§3.3.3, §3.5).
+
+Covers the three pillars of the crash-recoverable allocator:
+
+- **Epoch fencing**: the allocator-side epoch table, its CXL-resident
+  mirror, the on-wire stamp in both engines' message formats, and the
+  end-to-end FENCED -> resync -> retry recovery at net and storage drivers.
+- **Replication**: command-ID dedup in the state machine, snapshot/restore
+  convergence, and commit-gated failover surviving an allocator-leader
+  crash injected between the failure report and the commit.
+- **Lease lifecycle**: the periodic sweep revokes dead leases, frontends
+  renew through telemetry, and an expired frontend must re-acquire (never
+  silently reuse) its lease.
+"""
+
+import pytest
+
+from repro.core.control import (AllocatorStateMachine, ControlState,
+                                EpochTable, NotificationBus)
+from repro.core.netengine.messages import OP_TX, OP_TX_FENCED, NetMessage
+from repro.core.pod import CXLPod
+from repro.core.storage.messages import (SOP_WRITE, STATUS_FENCED,
+                                         StorageMessage)
+from repro.net.packet import make_ip
+from repro.sim.core import Simulator
+from repro.workloads.echo import EchoClient, EchoServer
+
+SERVER_IP = make_ip(10, 0, 0, 1)
+CLIENT_IP = make_ip(10, 0, 9, 1)
+
+
+class TestEpochTable:
+    def test_grant_then_check(self):
+        table = EpochTable()
+        table.publish_grant("nic0", 7, epoch=3)
+        assert table.check("nic0", 7, 3)
+        assert not table.check("nic0", 7, 2)   # stale stamp
+        assert table.stamp("nic0", 7) == 3
+
+    def test_stamp_compares_low_byte_only(self):
+        table = EpochTable()
+        table.publish_grant("nic0", 7, epoch=0x1FE)
+        assert table.check("nic0", 7, 0xFE)
+        assert not table.check("nic0", 7, 0xFD)
+
+    def test_unknown_writer_legacy_vs_fenced_device(self):
+        table = EpochTable()
+        # A device that never minted an epoch predates fencing: accept.
+        assert table.check("nic0", 7, 0)
+        # Once the device has fencing history, unknown writers are rejected.
+        table.publish_device("nic0", 1)
+        assert not table.check("nic0", 7, 0)
+
+    def test_device_epoch_monotone(self):
+        table = EpochTable()
+        table.publish_device("nic0", 5)
+        table.publish_device("nic0", 3)   # stale publication must not regress
+        assert table.device_epoch["nic0"] == 5
+
+    def test_revoke_min_epoch_guard_preserves_regrant(self):
+        """A delayed revoke (migration grace) must not kill a newer grant."""
+        table = EpochTable()
+        table.publish_grant("nic0", 7, epoch=2)
+        table.publish_grant("nic0", 7, epoch=9)   # re-granted meanwhile
+        table.publish_revoke("nic0", 7, min_epoch=5)   # the stale revoke
+        assert table.entry("nic0", 7) == 9
+        assert table.check("nic0", 7, 9)
+
+    def test_revoke_removes_older_entry(self):
+        table = EpochTable()
+        table.publish_grant("nic0", 7, epoch=2)
+        table.publish_revoke("nic0", 7, min_epoch=5)
+        assert table.entry("nic0", 7) is None
+        assert not table.check("nic0", 7, 2)
+
+    def test_cxl_mirror_round_trips_device_epoch(self):
+        pod = CXLPod(mode="oasis")
+        h0 = pod.add_host()
+        nic = pod.add_nic(h0)
+        pod.add_instance(h0, ip=SERVER_IP, nic=nic)
+        table = pod.allocator.epochs
+        assert table.resident_epoch(nic.name) == table.device_epoch[nic.name]
+
+
+class TestMessageEpochs:
+    def test_net_message_round_trips_epoch(self):
+        msg = NetMessage(OP_TX, 1500, SERVER_IP, 0xDEAD40, epoch=0x1A7)
+        again = NetMessage.unpack(msg.pack())
+        assert again.epoch == 0xA7          # low byte on the wire
+        assert again.opcode == OP_TX
+
+    def test_net_fenced_opcode_round_trips(self):
+        msg = NetMessage(OP_TX_FENCED, 0, SERVER_IP, 0xDEAD40, epoch=2)
+        assert NetMessage.unpack(msg.pack()).opcode == OP_TX_FENCED
+
+    def test_storage_message_round_trips_epoch_and_status(self):
+        msg = StorageMessage(SOP_WRITE, cid=9, slba=4, nlb=2,
+                             buffer_addr=0x1000, instance_ip=SERVER_IP,
+                             status=STATUS_FENCED, epoch=0x2B0)
+        again = StorageMessage.unpack(msg.pack())
+        assert again.epoch == 0xB0
+        assert again.status == STATUS_FENCED
+        assert len(msg.pack()) == 64
+
+
+class TestStateMachine:
+    def _place(self, cid="c1", ip=SERVER_IP):
+        return {"op": "place", "cid": cid, "ip": ip, "host": "h0",
+                "nic": "nic0", "backup": None, "demand": 1.0, "epoch": 1,
+                "now": 0.0}
+
+    def _state(self):
+        state = ControlState(lease_ttl_s=1.0)
+        from repro.core.allocator.policy import DeviceState
+        state.devices["nic0"] = DeviceState("nic0", host="h0", capacity=100.0)
+        return state
+
+    def test_command_id_dedup(self):
+        machine = AllocatorStateMachine(self._state())
+        assert machine.apply(self._place())
+        assert not machine.apply(self._place())   # replayed log entry
+        assert machine.state.devices["nic0"].allocated == 1.0
+
+    def test_distinct_cids_apply_independently(self):
+        machine = AllocatorStateMachine(self._state())
+        assert machine.apply(self._place("c1", make_ip(10, 0, 0, 1)))
+        assert machine.apply(self._place("c2", make_ip(10, 0, 0, 2)))
+        assert machine.state.devices["nic0"].allocated == 2.0
+
+    def test_snapshot_restore_preserves_signature(self):
+        machine = AllocatorStateMachine(self._state())
+        machine.apply(self._place())
+        snap = machine.state.snapshot()
+        restored = ControlState.restore(snap)
+        assert restored.signature() == machine.state.signature()
+        assert restored.assignments[SERVER_IP] == "nic0"
+        assert "c1" in restored.applied_cids
+
+    def test_restored_replica_rejects_replayed_cid(self):
+        machine = AllocatorStateMachine(self._state())
+        machine.apply(self._place())
+        replica = AllocatorStateMachine(
+            ControlState.restore(machine.state.snapshot()))
+        assert not replica.apply(self._place())   # already in the snapshot
+
+
+class TestNotificationBus:
+    def test_extra_delay_applied_per_host(self):
+        sim = Simulator()
+        bus = NotificationBus(sim)
+        arrived = []
+        bus.delay_extra("h1", 0.5)
+        bus.send("h0", 0.001, lambda: arrived.append(("h0", sim.now)))
+        bus.send("h1", 0.001, lambda: arrived.append(("h1", sim.now)))
+        sim.run(1.0)
+        assert dict(arrived) == pytest.approx({"h0": 0.001, "h1": 0.501})
+        assert bus.delayed == 1 and bus.delivered == 2
+
+    def test_drop_next_swallows_exactly_n(self):
+        sim = Simulator()
+        bus = NotificationBus(sim)
+        arrived = []
+        bus.drop_next("h0", count=2)
+        for _ in range(3):
+            bus.send("h0", 0.001, lambda: arrived.append(sim.now))
+        sim.run(1.0)
+        assert len(arrived) == 1
+        assert bus.dropped == 2
+
+    def test_clear_hooks(self):
+        sim = Simulator()
+        bus = NotificationBus(sim)
+        bus.delay_extra("h0", 1.0)
+        bus.drop_next("h0", 5)
+        bus.clear_delay("h0")
+        bus.clear_drops("h0")
+        arrived = []
+        bus.send("h0", 0.001, lambda: arrived.append(sim.now))
+        sim.run(1.0)
+        assert arrived == pytest.approx([0.001])
+
+
+def build_failover_pod(raft_replicas=0):
+    pod = CXLPod(mode="oasis")
+    h0, h1 = pod.add_host(), pod.add_host()
+    nic0 = pod.add_nic(h0)
+    nic1 = pod.add_nic(h1, is_backup=True)
+    inst = pod.add_instance(h1, ip=SERVER_IP, nic=nic0)
+    client = pod.add_external_client(ip=CLIENT_IP)
+    if raft_replicas:
+        pod.enable_raft(replicas=raft_replicas)
+    return pod, inst, client, nic0, nic1
+
+
+class TestCommitGatedFailover:
+    def test_failover_waits_for_leader(self):
+        """With no leader, the failover command queues; it applies exactly
+        once after the election instead of running unreplicated."""
+        pod, inst, client, nic0, nic1 = build_failover_pod(raft_replicas=3)
+        pod.run(0.2)
+        leader = pod.allocator.leader_node()
+        assert leader is not None
+        leader.crash()
+        pod.fail_switch_port(nic0)
+        pod.run(0.05)   # detection + processing, but no leader yet
+        assert pod.allocator.failovers_executed == 0
+        assert pod.allocator.pending_commands >= 1
+        pod.run(0.6)    # re-election + retry loop re-proposes the command
+        assert pod.allocator.failovers_executed == 1
+        assert pod.allocator.failover_log[nic0.name] == 1
+        assert pod.allocator.pending_commands == 0
+        assert pod.allocator.assignments[SERVER_IP] == nic1.name
+        pod.stop()
+
+    def test_leader_crash_mid_failover_exactly_once(self):
+        """The acceptance scenario: crash the allocator leader between the
+        failure report and the commit; the new leader completes the same
+        failover exactly once and every replica converges."""
+        pod, inst, client, nic0, nic1 = build_failover_pod(raft_replicas=3)
+        pod.run(0.2)
+        old_leader = pod.allocator.leader_node()
+        pod.fail_switch_port(nic0)
+        # Detection lands at the next 25 ms monitor tick, the commit 10 ms
+        # later: crash the leader in between.
+        pod.sim.schedule(0.030, old_leader.crash)
+        pod.run(0.7)
+        allocator = pod.allocator
+        assert allocator.failovers_executed == 1
+        assert allocator.failover_log[nic0.name] == 1
+        assert allocator.pending_commands == 0
+        new_leader = allocator.leader_node()
+        assert new_leader is not None and new_leader is not old_leader
+        # The crashed replica rejoins and converges from the leader's log.
+        old_leader.restart()
+        pod.run(0.4)
+        leader = allocator.leader_node()
+        for node in pod.raft_nodes:
+            if node.alive and node.last_applied == leader.last_applied:
+                assert (allocator.replica_signature(node.node_id)
+                        == allocator.state.signature())
+        assert any(node is old_leader and node.alive
+                   and node.last_applied == leader.last_applied
+                   for node in pod.raft_nodes)
+        pod.stop()
+
+    def test_replicas_converge_after_admission_ops(self):
+        pod, inst, client, nic0, nic1 = build_failover_pod(raft_replicas=3)
+        pod.run(0.3)   # election + async replication of the placement
+        allocator = pod.allocator
+        assert allocator.pending_commands == 0
+        for node in pod.raft_nodes:
+            assert (allocator.replica_signature(node.node_id)
+                    == allocator.state.signature())
+        pod.stop()
+
+
+class TestFencingEndToEnd:
+    def test_delayed_notification_is_fenced_then_resynced(self):
+        """A frontend whose failover notification is delayed keeps posting
+        stale-epoch work; the backend rejects every post with FENCED (zero
+        accepted) and the frontend recovers through an allocator resync."""
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        EchoServer(pod.sim, inst)
+        echo = EchoClient(pod.sim, client, SERVER_IP, rate_pps=4000)
+        echo.start(1.0)
+        pod.run(0.3)
+        # Delay every notification to the victim's host past the failover.
+        pod.allocator.notify.delay_extra("h1", 0.10)
+        pod.fail_switch_port(nic0)
+        pod.run(0.7)
+        backend0 = pod.backends[nic0.name]
+        frontend = pod.frontends["h1"]
+        assert backend0.fence_rejects > 0
+        assert backend0.stale_accepted == 0
+        assert frontend.tx_fenced == backend0.fence_rejects
+        assert frontend.resyncs >= 1
+        # Traffic resumed on the backup despite the stale window.
+        received_mid = echo.stats.received
+        pod.run(0.3)
+        assert echo.stats.received > received_mid
+        assert pod.frontends["h1"].record_of(SERVER_IP).primary.name == nic1.name
+        pod.stop()
+
+    def test_monitor_mode_counts_stale_writes(self):
+        """fencing_enabled=False keeps the epoch table attached but lets
+        stale posts through, counting them as ``stale_accepted``."""
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        backend0 = pod.backends[nic0.name]
+        backend0.fencing_enabled = False
+        EchoServer(pod.sim, inst)
+        echo = EchoClient(pod.sim, client, SERVER_IP, rate_pps=4000)
+        echo.start(0.6)
+        pod.run(0.1)
+        # Invalidate the frontend's epoch behind its back.
+        pod.allocator.epochs.publish_revoke(
+            nic0.name, SERVER_IP,
+            pod.allocator.epochs.device_epoch[nic0.name] + 1)
+        pod.run(0.1)
+        assert backend0.stale_accepted > 0
+        assert backend0.fence_rejects == 0
+        pod.stop()
+
+    def test_set_fencing_off_detaches_table(self):
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        pod.set_fencing(False)
+        assert pod.backends[nic0.name].epochs is None
+        pod.set_fencing(True)
+        assert pod.backends[nic0.name].epochs is pod.allocator.epochs
+
+    def test_storage_fencing_resyncs_and_completes(self):
+        """A stale storage stamp is rejected with STATUS_FENCED; the
+        frontend resyncs through the allocator and the retry succeeds."""
+        pod = CXLPod(mode="oasis")
+        h0, h1 = pod.add_host(), pod.add_host()
+        pod.add_nic(h0)
+        ssd = pod.add_ssd(h0)
+        inst = pod.add_instance(h1, ip=SERVER_IP)
+        device = pod.add_block_device(inst, ssd)
+        pod.run(0.01)
+        # Mint a newer epoch the frontend has not heard about.
+        table = pod.allocator.epochs
+        table.publish_grant(ssd.name, SERVER_IP,
+                            table.device_epoch[ssd.name] + 1)
+        statuses = []
+        frontend = pod.storage_frontends["h1"]
+        frontend.submit_write(device, 0, b"\x5a" * device.block_size,
+                              lambda status: statuses.append(status))
+        pod.run(0.5)
+        assert statuses == [0]              # completed OK after the resync
+        assert frontend.fenced >= 1
+        assert frontend.resyncs >= 1
+        backend = pod.storage_backends[ssd.name]
+        assert backend.fence_rejects >= 1
+        assert backend.stale_accepted == 0
+        pod.stop()
+
+
+class TestLeaseLifecycle:
+    def test_sweep_revokes_dead_lease_and_reacquires(self):
+        """Without renewals the sweep revokes the lease; the instance parks
+        and re-acquires a fresh grant with a higher epoch."""
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        pod.frontends["h1"].stop_monitors()    # silence renewals
+        pod.allocator.start_lease_sweeper()
+        pod.run(2.0)    # lease TTL is 1 s
+        allocator = pod.allocator
+        assert allocator.lease_expirations >= 1
+        nic = allocator.assignments[SERVER_IP]
+        lease = allocator.leases.get(SERVER_IP, nic)
+        assert lease is not None and lease.valid(pod.sim.now)
+        # The original grant was fenced off; the live entry matches the
+        # re-acquired lease's freshly minted epoch.
+        assert allocator.epochs.entry(nic, SERVER_IP) == lease.epoch
+        if nic != nic0.name:
+            assert allocator.epochs.entry(nic0.name, SERVER_IP) is None
+        pod.stop()
+
+    def test_frontend_telemetry_renews_lease(self):
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        pod.allocator.start_lease_sweeper()
+        pod.run(2.5)    # several TTLs with the renewal loop running
+        assert pod.allocator.lease_expirations == 0
+        lease = pod.allocator.leases.get(SERVER_IP, nic0.name)
+        assert lease is not None and lease.valid(pod.sim.now)
+        pod.stop()
+
+    def test_expired_telemetry_renewal_is_ignored(self):
+        """A renewal arriving after expiry must not revive the dead lease."""
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        pod.frontends["h1"].stop_monitors()
+        pod.run(1.5)    # past the 1 s TTL, no sweeper: lease dead in table
+        allocator = pod.allocator
+        lease = allocator.leases.get(SERVER_IP, nic0.name)
+        assert lease is not None and not lease.valid(pod.sim.now)
+        allocator.on_frontend_telemetry(
+            {"host": "h1", "ips": [SERVER_IP], "time": pod.sim.now})
+        assert not lease.valid(pod.sim.now)   # silently reusing is forbidden
+        pod.stop()
+
+    def test_resync_after_expiry_grants_fresh_lease(self):
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        pod.frontends["h1"].stop_monitors()
+        pod.run(1.5)
+        allocator = pod.allocator
+        old = allocator.leases.get(SERVER_IP, nic0.name)
+        assert old is not None and not old.valid(pod.sim.now)
+        allocator.resync_instance(SERVER_IP, "h1")
+        pod.run(0.1)
+        nic = allocator.assignments[SERVER_IP]
+        fresh = allocator.leases.get(SERVER_IP, nic)
+        assert fresh is not old
+        assert fresh.valid(pod.sim.now)
+        assert allocator.lease_expirations >= 1
+        pod.stop()

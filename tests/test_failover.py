@@ -168,6 +168,69 @@ class TestMigration:
         assert pod.allocator.assignments[SERVER_IP] == nic1.name
 
 
+class TestControlPlaneRaces:
+    def test_primary_and_backup_fail_same_window_parks_then_reacquires(self):
+        """Both the primary and its backup die within one detection window:
+        the failover re-validates the backup at apply time, finds it dead,
+        parks the instance (``failover.no_backup``) and re-acquires as soon
+        as a fresh backend registers."""
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        pod.run(0.1)
+        nic0.fail()
+        nic1.fail()
+        pod.run(0.3)
+        allocator = pod.allocator
+        assert allocator.failover_no_backup >= 1
+        assert SERVER_IP in allocator.parked
+        assert allocator.assignments.get(SERVER_IP) is None
+        # Capacity returns: a new NIC registers and the parked instance
+        # re-acquires onto it with a fresh lease and epoch.
+        h2 = pod.add_host()
+        nic2 = pod.add_nic(h2)
+        pod.run(0.2)
+        assert allocator.parked == {}
+        assert allocator.assignments[SERVER_IP] == nic2.name
+        lease = allocator.leases.get(SERVER_IP, nic2.name)
+        assert lease is not None and lease.valid(pod.sim.now)
+        assert pod.frontends["h1"].record_of(SERVER_IP).primary.name == nic2.name
+
+    def test_duplicate_reports_race_scheduled_commit(self):
+        """Repeated failure reports landing before (and after) the scheduled
+        ``_commit_failover`` are absorbed by the in-flight latch: one
+        failover, every extra report counted."""
+        pod, inst, client, nic0, nic1 = build_failover_pod()
+        pod.run(0.1)
+        allocator = pod.allocator
+        allocator.on_failure_report(nic0.name)
+        allocator.on_failure_report(nic0.name)   # before the 10 ms commit
+        pod.run(0.005)                           # still inside the window
+        allocator.on_failure_report(nic0.name)
+        pod.run(0.3)
+        allocator.on_failure_report(nic0.name)   # after the failover applied
+        assert allocator.failovers_executed == 1
+        assert allocator.failover_log[nic0.name] == 1
+        assert allocator.duplicate_reports == 3
+        assert allocator.assignments[SERVER_IP] == nic1.name
+
+    def test_failovers_match_failed_devices(self):
+        """Each failed device produces exactly one failover entry even when
+        two devices fail back to back."""
+        pod = CXLPod(mode="oasis")
+        hosts = [pod.add_host() for _ in range(3)]
+        nic0 = pod.add_nic(hosts[0])
+        nic1 = pod.add_nic(hosts[1])
+        pod.add_nic(hosts[2], is_backup=True)
+        pod.add_instance(hosts[2], ip=SERVER_IP, nic=nic0)
+        pod.run(0.1)
+        nic0.fail()
+        nic1.fail()
+        pod.run(0.4)
+        log = pod.allocator.failover_log
+        assert log.get(nic0.name) == 1
+        assert log.get(nic1.name) == 1
+        assert pod.allocator.failovers_executed == 2
+
+
 class TestFailoverRaces:
     def test_migration_onto_undetected_failed_nic_recovers(self):
         """Regression (found by the chaos suite): an instance migrated onto a

@@ -14,22 +14,53 @@ and makes them visible with CLWB when a cache line fills or on an explicit
 Every method returns its CPU cost in nanoseconds.  Receiver poll behaviour is
 design-specific and lives in :mod:`repro.channel.designs`; the common slot
 load / epoch check / counter machinery is here.
+
+Both endpoints sit on the driver cores' hottest loop, so the ring geometry
+(slot base, power-of-two mask, wrap shift) is captured once at construction
+and the timing hooks collapse to a no-hook fast path when the default
+:class:`TimingHooks` is in use -- per-poll dispatch never re-discovers either.
 """
 
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..config import CACHE_LINE
 from ..errors import ChannelError
-from ..mem.cache import HostCache
-from .ring import RingLayout, decode_slot, encode_slot
+from ..mem.cache import HostCache, _Line
+from .ring import RingLayout, decode_slot, encode_slot  # noqa: F401  (re-export)
 
 __all__ = ["ChannelSender", "ChannelReceiver", "TimingHooks", "ChannelCounters"]
 
 _COUNTER = struct.Struct("<Q")
+_LINE_MASK = CACHE_LINE - 1
+
+
+def _clwb_hot(cache: HostCache, addr: int, category: str) -> float:
+    """``cache.clwb`` with the hook-free, fault-free writeback inlined.
+
+    Every channel message and counter publish pays one CLWB, so the common
+    case (dirty line, no writeback hook, no fault injection armed) skips the
+    method call chain; anything unusual falls back to the generic path.
+    """
+    index = addr // CACHE_LINE
+    line = cache._lines.get(index)
+    if line is None or not line.dirty:
+        return cache.timings.clflush_issue_ns
+    if cache._wb_fault is not None or cache.writeback_hook is not None:
+        return cache.clwb(addr, category=category)
+    cache.pool._lines[index] = bytearray(line.data)
+    wr = cache._wr
+    if wr is None:
+        link_stats = cache.pool.stats_for(cache.host)
+        cache._rd = link_stats.read_bytes
+        cache._wr = wr = link_stats.write_bytes
+    wr[category] = wr.get(category, 0) + CACHE_LINE
+    line.dirty = False
+    cache.stats.writebacks += 1
+    return cache.timings.clwb_ns
 
 
 class TimingHooks:
@@ -69,6 +100,10 @@ class ChannelCounters:
 class ChannelSender:
     """The producing endpoint of a one-way channel."""
 
+    __slots__ = ("layout", "cache", "category", "next_seq", "_cached_consumed",
+                 "_dirty_line_addr", "counters", "_slots", "_slot_base",
+                 "_slot_mask", "_msize", "_wrap_shift")
+
     def __init__(self, layout: RingLayout, cache: HostCache, category: str = "message"):
         self.layout = layout
         self.cache = cache
@@ -77,26 +112,34 @@ class ChannelSender:
         self._cached_consumed = 0
         self._dirty_line_addr: Optional[int] = None
         self.counters = ChannelCounters()
+        # Ring geometry, captured once (slots is a power of two).
+        self._slots = layout.slots
+        self._slot_base = layout.region.base
+        self._slot_mask = layout.slots - 1
+        self._msize = layout.message_size
+        self._wrap_shift = layout.slots.bit_length() - 1
 
     # -- capacity ------------------------------------------------------------
 
     @property
     def free_slots_cached(self) -> int:
         """Free slots according to the locally cached consumed counter."""
-        return self.layout.slots - (self.next_seq - self._cached_consumed)
+        return self._slots - (self.next_seq - self._cached_consumed)
 
     def refresh_consumed(self) -> float:
         """Re-read the consumed counter from CXL (invalidate + fence + load)."""
-        cost = self.cache.clflush(self.layout.counter_addr, fenced=True, category="counter")
+        counter_addr = self.layout.counter_addr
+        cost = self.cache.clflush(counter_addr, fenced=True, category="counter")
         cost += self.cache.mfence()
-        raw, load_cost = self.cache.load(self.layout.counter_addr, 8, category="counter")
+        raw, load_cost = self.cache.load(counter_addr, 8, category="counter")
         cost += load_cost
         value = _COUNTER.unpack(raw)[0]
         if value > self.next_seq:
             raise ChannelError(
                 f"consumed counter {value} ahead of send sequence {self.next_seq}"
             )
-        self._cached_consumed = max(self._cached_consumed, value)
+        if value > self._cached_consumed:
+            self._cached_consumed = value
         self.counters.counter_refreshes += 1
         return cost
 
@@ -108,37 +151,122 @@ class ChannelSender:
         On False the caller should retry later (the ring is full even after a
         counter refresh).
         """
-        if len(payload) != self.layout.message_size:
+        msize = self._msize
+        if len(payload) != msize:
             raise ChannelError(
-                f"payload must be exactly {self.layout.message_size} B, got {len(payload)}"
+                f"payload must be exactly {msize} B, got {len(payload)}"
             )
+        seq = self.next_seq
         cost = 0.0
-        if self.free_slots_cached <= 0:
+        if self._slots - (seq - self._cached_consumed) <= 0:
             cost += self.refresh_consumed()
-            if self.free_slots_cached <= 0:
+            if self._slots - (seq - self._cached_consumed) <= 0:
                 self.counters.full_stalls += 1
                 return False, cost
 
-        seq = self.next_seq
-        slot = encode_slot(payload, self.layout.expected_epoch(seq))
-        addr = self.layout.slot_addr(seq)
-        cost += self.cache.store(addr, slot, category=self.category)
+        b0 = payload[0]
+        if b0 & 0x80:
+            raise ChannelError("payload first byte must leave the epoch bit clear")
+        # Fresh messages on lap 0 carry epoch 1; the bit toggles per wrap.
+        if (seq >> self._wrap_shift) & 1:
+            slot = payload
+        else:
+            slot = bytearray(payload)
+            slot[0] = b0 | 0x80
+        addr = self._slot_base + (seq & self._slot_mask) * msize
+        cache = self.cache
+        line = cache._lines.get(addr // CACHE_LINE)
+        if line is not None and not cache._track_lru:
+            # cache.store single-line hit, inlined (steady state: ring lines
+            # stay cached between laps).
+            offset = addr & _LINE_MASK
+            line.data[offset:offset + msize] = slot
+            line.dirty = True
+            cache.stats.stores += 1
+            cost += cache.timings.store_ns
+        else:
+            cost += cache.store(addr, slot, category=self.category)
         self.next_seq = seq + 1
         self.counters.sent += 1
 
-        line_addr = addr & ~(CACHE_LINE - 1)
-        if self.layout.is_line_end(seq):
-            cost += self.cache.clwb(line_addr, category=self.category)
+        line_addr = addr & ~_LINE_MASK
+        if (addr + msize) & _LINE_MASK == 0:
+            cost += _clwb_hot(cache, line_addr, self.category)
             self._dirty_line_addr = None
         else:
             self._dirty_line_addr = line_addr
         return True, cost
 
+    def try_send_batch(self, payloads, out: list) -> bool:
+        """Fused :meth:`try_send` loop for driver batching.
+
+        ``out`` is a two-slot ``[sent, cost_ns]`` accumulator updated after
+        every payload, so a caller's ``finally`` observes partial progress
+        exactly as the call-per-payload loop would under an exception.
+        Returns True when the ring is full (the failed attempt's cost is
+        already accumulated).
+        """
+        slots = self._slots
+        msize = self._msize
+        mask = self._slot_mask
+        base = self._slot_base
+        wshift = self._wrap_shift
+        cache = self.cache
+        lines = cache._lines
+        track = cache._track_lru
+        cstats = cache.stats
+        store_ns = cache.timings.store_ns
+        category = self.category
+        counters = self.counters
+        for payload in payloads:
+            if len(payload) != msize:
+                raise ChannelError(
+                    f"payload must be exactly {msize} B, got {len(payload)}"
+                )
+            seq = self.next_seq
+            c = 0.0
+            if slots - (seq - self._cached_consumed) <= 0:
+                c += self.refresh_consumed()
+                if slots - (seq - self._cached_consumed) <= 0:
+                    counters.full_stalls += 1
+                    out[1] += c
+                    return True
+            b0 = payload[0]
+            if b0 & 0x80:
+                raise ChannelError(
+                    "payload first byte must leave the epoch bit clear")
+            if (seq >> wshift) & 1:
+                slot = payload
+            else:
+                slot = bytearray(payload)
+                slot[0] = b0 | 0x80
+            addr = base + (seq & mask) * msize
+            line = lines.get(addr // CACHE_LINE)
+            if line is not None and not track:
+                offset = addr & _LINE_MASK
+                line.data[offset:offset + msize] = slot
+                line.dirty = True
+                cstats.stores += 1
+                c += store_ns
+            else:
+                c += cache.store(addr, slot, category=category)
+            self.next_seq = seq + 1
+            counters.sent += 1
+            line_addr = addr & ~_LINE_MASK
+            if (addr + msize) & _LINE_MASK == 0:
+                c += _clwb_hot(cache, line_addr, category)
+                self._dirty_line_addr = None
+            else:
+                self._dirty_line_addr = line_addr
+            out[1] += c
+            out[0] += 1
+        return False
+
     def flush(self) -> float:
         """CLWB a partially filled line so receivers can see it (low rate)."""
         if self._dirty_line_addr is None:
             return 0.0
-        cost = self.cache.clwb(self._dirty_line_addr, category=self.category)
+        cost = _clwb_hot(self.cache, self._dirty_line_addr, self.category)
         self._dirty_line_addr = None
         return cost
 
@@ -149,7 +277,12 @@ class ChannelSender:
             from ..errors import ChannelFullError
 
             raise ChannelFullError("message ring full")
-        return cost + self.flush()
+        # flush(), inlined: single sends pay it once per message.
+        dirty = self._dirty_line_addr
+        if dirty is None:
+            return cost + 0.0
+        self._dirty_line_addr = None
+        return cost + _clwb_hot(self.cache, dirty, self.category)
 
 
 class ChannelReceiver:
@@ -157,6 +290,11 @@ class ChannelReceiver:
 
     #: human-readable design name (Figure 6 legend)
     design = "abstract"
+
+    __slots__ = ("layout", "cache", "timing", "_timing", "counter_batch",
+                 "next_seq", "_consumed_since_update", "_prefetch_horizon",
+                 "counters", "_slot_base", "_slot_mask", "_msize",
+                 "_wrap_shift", "_counter_addr", "_timings")
 
     def __init__(
         self,
@@ -168,6 +306,9 @@ class ChannelReceiver:
         self.layout = layout
         self.cache = cache
         self.timing = timing or TimingHooks()
+        # Precomputed dispatch: the no-op default hooks are skipped entirely
+        # on the poll path; only a real (subclassed) harness pays the calls.
+        self._timing = None if type(self.timing) is TimingHooks else self.timing
         # §4: update the counter only after consuming half the ring by default.
         self.counter_batch = counter_batch if counter_batch is not None else max(
             1, layout.slots // 2
@@ -180,6 +321,13 @@ class ChannelReceiver:
         # PREFETCHT0 for the whole window on every poll.
         self._prefetch_horizon = -1
         self.counters = ChannelCounters()
+        # Ring geometry, captured once (slots is a power of two).
+        self._slot_base = layout.region.base
+        self._slot_mask = layout.slots - 1
+        self._msize = layout.message_size
+        self._wrap_shift = layout.slots.bit_length() - 1
+        self._counter_addr = layout.counter_addr
+        self._timings = cache.timings
 
     # -- common machinery -------------------------------------------------------
 
@@ -188,39 +336,77 @@ class ChannelReceiver:
 
     def _check_slot(self, seq: int) -> Tuple[Optional[bytes], float]:
         """Load the slot for ``seq``; return (payload, cost) or (None, cost)."""
-        addr = self.layout.slot_addr(seq)
-        line_idx = self._line_index(seq)
-        cost = 0.0
-        was_cached = self.cache.contains(addr)
-        if was_cached:
-            cost += self.timing.hit_stall_ns(line_idx)
-        raw, load_cost = self.cache.load(addr, self.layout.message_size, category="message")
-        cost += load_cost
-        if not was_cached:
-            self.timing.on_demand_fill(line_idx)
-        payload, epoch = decode_slot(raw)
-        if epoch != self.layout.expected_epoch(seq):
+        msize = self._msize
+        addr = self._slot_base + (seq & self._slot_mask) * msize
+        timing = self._timing
+        cache = self.cache
+        if timing is None:
+            raw, cost = cache.load(addr, msize, category="message")
+        else:
+            line_idx = addr // CACHE_LINE
+            was_cached = cache.contains(addr)
+            cost = 0.0
+            if was_cached:
+                cost += timing.hit_stall_ns(line_idx)
+            raw, load_cost = cache.load(addr, msize, category="message")
+            cost += load_cost
+            if not was_cached:
+                timing.on_demand_fill(line_idx)
+        b0 = raw[0]
+        if (b0 >> 7) != 1 - ((seq >> self._wrap_shift) & 1):
             self.counters.empty_polls += 1
-            cost += self.cache.timings.empty_poll_ns
+            cost += self._timings.empty_poll_ns
             return None, cost
-        return payload, cost
+        return bytes((b0 & 0x7F,)) + raw[1:], cost
 
     def _consume(self, seq: int) -> float:
         """Bookkeeping after a message is accepted."""
         self.next_seq = seq + 1
         self.counters.received += 1
         self._consumed_since_update += 1
-        cost = self.cache.timings.message_cpu_ns
+        cost = self._timings.message_cpu_ns
         if self._consumed_since_update >= self.counter_batch:
             cost += self._publish_counter()
         return cost
 
     def _publish_counter(self) -> float:
-        """Store + CLWB the consumed counter so the sender can reuse slots."""
-        cost = self.cache.store(
-            self.layout.counter_addr, _COUNTER.pack(self.next_seq), category="counter"
-        )
-        cost += self.cache.clwb(self.layout.counter_addr, category="counter")
+        """Store + CLWB the consumed counter so the sender can reuse slots.
+
+        The counter line is the hottest store in the protocol (published
+        once per drained batch), so the single-line store hit is inlined.
+        """
+        counter_addr = self._counter_addr
+        cache = self.cache
+        line = cache._lines.get(counter_addr // CACHE_LINE)
+        if line is not None and not cache._track_lru:
+            offset = counter_addr & _LINE_MASK
+            line.data[offset:offset + 8] = _COUNTER.pack(self.next_seq)
+            line.dirty = True
+            cache.stats.stores += 1
+            cost = 0.0 + cache.timings.store_ns
+        else:
+            cost = cache.store(
+                counter_addr, _COUNTER.pack(self.next_seq), category="counter"
+            )
+        # _clwb_hot, inlined: the counter line is dirty here in steady state
+        # (we just stored to it), so the common case is one writeback.
+        index = counter_addr // CACHE_LINE
+        wline = cache._lines.get(index)
+        if wline is None or not wline.dirty:
+            cost += cache.timings.clflush_issue_ns
+        elif cache._wb_fault is not None or cache.writeback_hook is not None:
+            cost += cache.clwb(counter_addr, category="counter")
+        else:
+            cache.pool._lines[index] = bytearray(wline.data)
+            wr = cache._wr
+            if wr is None:
+                link_stats = cache.pool.stats_for(cache.host)
+                cache._rd = link_stats.read_bytes
+                cache._wr = wr = link_stats.write_bytes
+            wr["counter"] = wr.get("counter", 0) + CACHE_LINE
+            wline.dirty = False
+            cache.stats.writebacks += 1
+            cost += cache.timings.clwb_ns
         self._consumed_since_update = 0
         self.counters.counter_updates += 1
         return cost
@@ -232,9 +418,10 @@ class ChannelReceiver:
         return self._publish_counter()
 
     def _invalidate_line_of(self, seq: int, fenced: bool) -> float:
-        line_addr = self.layout.slot_line_addr(seq)
+        line_addr = (self._slot_base + (seq & self._slot_mask) * self._msize) & ~_LINE_MASK
         cost = self.cache.clflush(line_addr, fenced=fenced, category="message")
-        self.timing.on_invalidate(line_addr // CACHE_LINE)
+        if self._timing is not None:
+            self._timing.on_invalidate(line_addr // CACHE_LINE)
         return cost
 
     def _prefetch_ahead(self, depth_lines: int) -> float:
@@ -244,19 +431,59 @@ class ChannelReceiver:
         are skipped; a prefetch of a line still cached (possibly stale) is a
         hardware no-op, which is the pathology Figure 6's design ② hits.
         """
-        per_line = self.layout.messages_per_line
-        depth_lines = min(depth_lines, self.layout.lines - 1)
+        layout = self.layout
+        per_line = layout.messages_per_line
+        lines = layout.lines - 1
+        if lines < depth_lines:
+            depth_lines = lines
         cur_lseq = self.next_seq // per_line
-        start = max(self._prefetch_horizon + 1, cur_lseq + 1)
+        start = self._prefetch_horizon + 1
+        if start < cur_lseq + 1:
+            start = cur_lseq + 1
         end = cur_lseq + depth_lines
         cost = 0.0
-        for lseq in range(start, end + 1):
-            addr = self.layout.slot_line_addr(lseq * per_line)
-            issued, c = self.cache.prefetch(addr, category="message")
-            cost += c
-            if issued:
-                self.timing.on_prefetch_issued(addr // CACHE_LINE)
-        self._prefetch_horizon = max(self._prefetch_horizon, end)
+        if start <= end:
+            cache = self.cache
+            timing = self._timing
+            base = self._slot_base
+            mask = self._slot_mask
+            msize = self._msize
+            if cache._track_lru:
+                for lseq in range(start, end + 1):
+                    addr = (base + ((lseq * per_line) & mask) * msize) & ~_LINE_MASK
+                    issued, c = cache.prefetch(addr, category="message")
+                    cost += c
+                    if issued and timing is not None:
+                        timing.on_prefetch_issued(addr // CACHE_LINE)
+            else:
+                # cache.prefetch + its fill, inlined per window line (the
+                # streaming receiver issues one burst of these per message).
+                lines = cache._lines
+                pool_lines = cache.pool._lines
+                cstats = cache.stats
+                issue_ns = cache.timings.prefetch_issue_ns
+                rd = cache._rd
+                if rd is None:
+                    link_stats = cache.pool.stats_for(cache.host)
+                    cache._rd = rd = link_stats.read_bytes
+                    cache._wr = link_stats.write_bytes
+                for lseq in range(start, end + 1):
+                    index = ((base + ((lseq * per_line) & mask) * msize)
+                             & ~_LINE_MASK) // CACHE_LINE
+                    if index in lines:
+                        cstats.prefetches_ignored += 1
+                    else:
+                        src = pool_lines.get(index)
+                        lines[index] = _Line(
+                            bytearray(src) if src is not None
+                            else bytearray(CACHE_LINE))
+                        rd["message"] = rd.get("message", 0) + CACHE_LINE
+                        cstats.prefetches_issued += 1
+                        if timing is not None:
+                            timing.on_prefetch_issued(index)
+                    cost += issue_ns
+        if self._prefetch_horizon < end:
+            self._prefetch_horizon = end
         return cost
 
     def _reset_prefetch_horizon(self) -> None:
@@ -273,10 +500,14 @@ class ChannelReceiver:
         """Poll until empty or ``limit`` messages; used by DES driver loops."""
         out = []
         total = 0.0
-        while len(out) < limit:
-            payload, cost = self.poll()
+        poll = self.poll
+        append = out.append
+        n = 0
+        while n < limit:
+            payload, cost = poll()
             total += cost
             if payload is None:
                 break
-            out.append(payload)
+            append(payload)
+            n += 1
         return out, total

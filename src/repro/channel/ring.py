@@ -43,11 +43,21 @@ def decode_slot(raw: bytes) -> tuple[bytes, int]:
 
 @dataclass(frozen=True)
 class RingLayout:
-    """Address arithmetic for one ring in shared memory."""
+    """Address arithmetic for one ring in shared memory.
+
+    The derived geometry (``messages_per_line``, ``lines``, ``counter_addr``)
+    is computed once at construction -- layouts are frozen, and the datapath
+    reads these on hot paths.
+    """
 
     region: Region
     slots: int
     message_size: int
+
+    # Derived geometry -- messages_per_line, lines, counter_addr -- is set by
+    # __post_init__ via object.__setattr__ (the dataclass is frozen) and is
+    # deliberately not part of the field list: construction, equality and
+    # repr stay keyed on the three inputs alone.
 
     def __post_init__(self):
         if self.slots < 2 or self.slots & (self.slots - 1):
@@ -59,25 +69,15 @@ class RingLayout:
                 f"region of {self.region.size} B too small for "
                 f"{self.slots} x {self.message_size} B ring"
             )
+        array_bytes = align_up(self.slots * self.message_size, CACHE_LINE)
+        object.__setattr__(self, "messages_per_line", CACHE_LINE // self.message_size)
+        object.__setattr__(self, "lines", array_bytes // CACHE_LINE)
+        object.__setattr__(self, "counter_addr", self.region.base + array_bytes)
 
     @staticmethod
     def required_bytes(slots: int, message_size: int) -> int:
         """Region size needed: slot array + counter on its own line."""
         return align_up(slots * message_size, CACHE_LINE) + CACHE_LINE
-
-    @property
-    def messages_per_line(self) -> int:
-        return CACHE_LINE // self.message_size
-
-    @property
-    def lines(self) -> int:
-        """Number of cache lines occupied by the slot array."""
-        return align_up(self.slots * self.message_size, CACHE_LINE) // CACHE_LINE
-
-    @property
-    def counter_addr(self) -> int:
-        """Address of the 8 B consumed counter (its own cache line)."""
-        return self.region.base + align_up(self.slots * self.message_size, CACHE_LINE)
 
     def slot_addr(self, seq: int) -> int:
         """Byte address of the slot for message sequence number ``seq``."""

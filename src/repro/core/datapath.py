@@ -21,6 +21,7 @@ in full-system experiments.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Callable, List, Optional, Tuple
 
 from ..config import OasisConfig
@@ -31,7 +32,7 @@ from ..errors import ChannelFullError
 from ..mem.cxl import CXLMemoryPool
 from ..mem.layout import Region, RegionAllocator
 from ..obs.trace import NULL_TRACER
-from ..sim.core import Signal, Simulator, USEC
+from ..sim.core import _NEAR_WINDOW, Event, Signal, Simulator, USEC
 
 __all__ = ["SharedRegions", "DoorbellChannel", "LocalChannel", "ChannelPair"]
 
@@ -78,6 +79,17 @@ class DoorbellChannel:
     """
 
     tracer = NULL_TRACER
+    # Precomputed dispatch: None while tracing is disabled; rebound to the
+    # live tracer by set_tracer() when the pod enables tracing.
+    _trace = None
+    #: queue_view holds visibility timestamps; a future head means drain()
+    #: cannot deliver yet (engine loops use this to skip the call).
+    timed = True
+
+    def set_tracer(self, tracer) -> None:
+        """Bind a tracer; the hot path keeps a None-or-tracer fast alias."""
+        self.tracer = tracer
+        self._trace = tracer if tracer.enabled else None
 
     def __init__(
         self,
@@ -108,6 +120,11 @@ class DoorbellChannel:
         # message never rides an earlier message's doorbell for free.
         self._visible_at: deque = deque()
         self._fire_scheduled_for: Optional[float] = None
+        # Stable aliases the engine drain loops use to skip a drain() call
+        # that would be a guaranteed no-op (nothing in flight, no counter
+        # update owed).  Both objects are fixed for the channel's lifetime.
+        self.queue_view = self._visible_at
+        self.counter_view = self.receiver
 
     @property
     def pending(self) -> int:
@@ -122,22 +139,44 @@ class DoorbellChannel:
 
     def drain(self, limit: int = 256) -> Tuple[List[bytes], float]:
         """Receive the messages already visible; returns (payloads, cpu_ns)."""
+        visible = self._visible_at
+        if not visible:
+            # Idle drain: nothing in flight, just flush a pending counter
+            # update so the sender is not starved of slots.
+            receiver = self.receiver
+            if receiver._consumed_since_update == 0:
+                return [], 0.0
+            return [], 0.0 + receiver._publish_counter()
         now = self.sim.now + 1e-12
-        ready = 0
-        for visible_at in self._visible_at:
-            if visible_at > now or ready >= limit:
-                break
-            ready += 1
+        if visible[-1] <= now:
+            # Common case: every in-flight message is already visible, so
+            # the per-entry scan reduces to a length clamp.
+            ready = len(visible)
+            if ready > limit:
+                ready = limit
+        else:
+            ready = 0
+            for visible_at in visible:
+                if visible_at > now or ready >= limit:
+                    break
+                ready += 1
         payloads, cost = self.receiver.poll_batch(ready) if ready else ([], 0.0)
-        for _ in payloads:
-            self._visible_at.popleft()
-        if payloads and self.tracer.enabled:
-            self.tracer.instant("chan.recv", category="channel",
-                                track=self.name, count=len(payloads))
-        if not payloads:
+        if payloads:
+            if len(payloads) == len(visible):
+                visible.clear()
+            else:
+                for _ in payloads:
+                    visible.popleft()
+            if self._trace is not None:
+                self._trace.instant("chan.recv", category="channel",
+                                    track=self.name, count=len(payloads))
+        else:
             cost += self.receiver.force_publish_counter()
-        if self._visible_at:
-            self._schedule_fire(self._visible_at[0])
+        if visible:
+            head = visible[0]
+            fired_for = self._fire_scheduled_for
+            if fired_for is None or fired_for > head + 1e-12:
+                self._schedule_fire(head)
         return payloads, cost
 
     # -- sender side ---------------------------------------------------------------
@@ -150,30 +189,31 @@ class DoorbellChannel:
 
     def send_many(self, payloads: List[bytes]) -> float:
         """Send a batch with one flush + one doorbell (driver batching)."""
-        cost = 0.0
-        sent = 0
+        state = [0, 0.0]   # [sent, cost_ns], updated in place per payload
         try:
-            for payload in payloads:
-                ok, c = self.sender.try_send(payload)
-                cost += c
-                if not ok:
-                    raise ChannelFullError(self.name)
-                sent += 1
+            if self.sender.try_send_batch(payloads, state):
+                raise ChannelFullError(self.name)
         finally:
-            cost += self.sender.flush()
-            self._mark_visible(sent)
+            cost = state[1] + self.sender.flush()
+            self._mark_visible(state[0])
         return cost
 
     def _mark_visible(self, count: int) -> None:
         if count <= 0:
             return
-        if self.tracer.enabled:
-            self.tracer.instant("chan.send", category="channel",
+        if self._trace is not None:
+            self._trace.instant("chan.send", category="channel",
                                 track=self.name, count=count)
         visible_at = self.sim.now + self.hop_s
-        for _ in range(count):
+        if count == 1:
             self._visible_at.append(visible_at)
-        self._schedule_fire(visible_at)
+        else:
+            self._visible_at.extend([visible_at] * count)
+        # _schedule_fire's no-op guard, inlined: back-to-back sends in one
+        # drain pass all land on the already-scheduled doorbell.
+        fired_for = self._fire_scheduled_for
+        if fired_for is None or fired_for > visible_at + 1e-12:
+            self._schedule_fire(visible_at)
 
     def _schedule_fire(self, when: float) -> None:
         if self._work_signal is None:
@@ -182,7 +222,31 @@ class DoorbellChannel:
                 self._fire_scheduled_for <= when + 1e-12:
             return
         self._fire_scheduled_for = when
-        self.sim.at(max(when, self.sim.now), self._fire)
+        sim = self.sim
+        now = sim.now
+        # sim.call_at(max(when, now), self._fire), open-coded: one of these
+        # runs per doorbell ring, right behind every message send.
+        delay = when - now if when > now else 0.0
+        pool = sim._pool
+        if pool:
+            event = pool.pop()
+            event.time = t = now + delay
+            event.fn = self._fire
+            event.args = ()
+            event._live = True
+        else:
+            event = Event(sim, now + delay, self._fire, ())
+            event._pooled = True
+            t = event.time
+        sim._live_events += 1
+        seq = next(sim._seq)
+        if delay == 0.0:
+            event._seqno = seq
+            sim._now_q.append(event)
+        elif delay < _NEAR_WINDOW:
+            heappush(sim._near, (t, seq, event))
+        else:
+            heappush(sim._far, (t, seq, event))
 
     def _fire(self) -> None:
         self._fire_scheduled_for = None
@@ -190,16 +254,34 @@ class DoorbellChannel:
             self._work_signal.set()
 
 
+class _NoCounter:
+    """Stands in for a receiver on channels with no consumed counter."""
+
+    _consumed_since_update = 0
+
+
 class LocalChannel:
     """Baseline signalling path: a lock-free ring in local DDR (no CXL)."""
 
     tracer = NULL_TRACER
+    _trace = None
+    # Drain-skip views (see DoorbellChannel): a LocalChannel owes nothing
+    # when its queue is empty.
+    counter_view = _NoCounter
+    #: queue_view holds payloads (no timestamps); any entry is drainable now.
+    timed = False
+
+    def set_tracer(self, tracer) -> None:
+        """Bind a tracer; the hot path keeps a None-or-tracer fast alias."""
+        self.tracer = tracer
+        self._trace = tracer if tracer.enabled else None
 
     def __init__(self, sim: Simulator, name: str, hop_us: float = 0.25):
         self.sim = sim
         self.name = name
         self.hop_s = hop_us * USEC
         self._queue: deque = deque()
+        self.queue_view = self._queue
         self._work_signal: Optional[Signal] = None
         self._notify_pending = False
         self.sent = 0
@@ -221,8 +303,8 @@ class LocalChannel:
     def send(self, payload: bytes) -> float:
         self._queue.append(payload)
         self.sent += 1
-        if self.tracer.enabled:
-            self.tracer.instant("chan.send", category="channel",
+        if self._trace is not None:
+            self._trace.instant("chan.send", category="channel",
                                 track=self.name, count=1)
         self._notify()
         return 25.0
@@ -231,8 +313,8 @@ class LocalChannel:
         self._queue.extend(payloads)
         self.sent += len(payloads)
         if payloads:
-            if self.tracer.enabled:
-                self.tracer.instant("chan.send", category="channel",
+            if self._trace is not None:
+                self._trace.instant("chan.send", category="channel",
                                     track=self.name, count=len(payloads))
             self._notify()
         return 25.0 * len(payloads)
@@ -241,7 +323,7 @@ class LocalChannel:
         if self._work_signal is None or self._notify_pending:
             return
         self._notify_pending = True
-        self.sim.schedule(self.hop_s, self._fire)
+        self.sim.call_after(self.hop_s, self._fire)
 
     def _fire(self) -> None:
         self._notify_pending = False

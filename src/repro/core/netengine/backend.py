@@ -54,6 +54,20 @@ class NetBackend(Driver):
 
     tracer = NULL_TRACER
     flows = NULL_FLOWS
+    # Precomputed dispatch: None while the facility is disabled; rebound by
+    # set_tracer()/set_flows() when the pod enables tracing / flow tracing.
+    _trace = None
+    _flows = None
+
+    def set_tracer(self, tracer) -> None:
+        """Bind a tracer; hot paths keep a None-or-tracer fast alias."""
+        self.tracer = tracer
+        self._trace = tracer if tracer.enabled else None
+
+    def set_flows(self, flows) -> None:
+        """Bind a flow registry; hot paths keep a None-or-registry alias."""
+        self.flows = flows
+        self._flows = flows if flows.enabled else None
 
     def __init__(
         self,
@@ -72,6 +86,10 @@ class NetBackend(Driver):
         self.tx_buffers_local = tx_buffers_local
         self.rx_pool = FixedPool(rx_region, self.config.datapath.rx_buffer_bytes)
         self._links: Dict[str, FrontendLink] = {}
+        # Per-link drain tuples (link, rx, counter_view, queue_view, timed),
+        # rebuilt on connect: the drain loop runs once per wakeup and these
+        # four attribute chains are invariant for a link's lifetime.
+        self._drain_links: list = []
         self._registry: Dict[int, str] = {}      # instance ip -> frontend name
         self._tag_to_ip: Dict[int, int] = {}     # NIC flow tag -> instance ip
         self._tx_pending: deque = deque()        # descriptors awaiting ring space
@@ -107,6 +125,10 @@ class NetBackend(Driver):
     def connect_frontend(self, link: FrontendLink) -> None:
         self._links[link.name] = link
         link.rx.bind(self.work)
+        self._drain_links = [
+            (lk, lk.rx, lk.rx.counter_view, lk.rx.queue_view, lk.rx.timed)
+            for lk in self._links.values()
+        ]
 
     def register_instance(self, ip: int, frontend_name: str) -> Optional[int]:
         """Register an instance's IP with this NIC (flow tagging, §3.3.1)."""
@@ -147,25 +169,56 @@ class NetBackend(Driver):
 
     def _on_nic_tx_comp(self, completion: Completion) -> None:
         self._tx_comps.append(completion)
-        self.kick()
+        self.work.set()
 
     def _on_nic_rx(self, completion: Completion) -> None:
-        if self.flows.enabled:
-            flow = self.flows.peek(completion.descriptor.addr)
+        flows = self._flows
+        if flows is not None:
+            flow = flows.peek(completion.descriptor.addr)
             if flow is not None:
                 flow.stage("be.rx", depth=len(self._rx_comps))
         self._rx_comps.append(completion)
-        self.kick()
+        self.work.set()
 
     # -- driver loop ---------------------------------------------------------------------------
 
     def _process(self) -> tuple:
-        items = 0
+        # The frontend-message drain (the only part that must always run) is
+        # inlined; the other parts are guarded on their queues so an idle
+        # wakeup does not pay four calls that return ``(0, 0.0)``.
         cost = 0.0
-        for part in (self._process_frontend_messages, self._process_tx_pending,
-                     self._process_tx_comps, self._process_rx_comps,
-                     self._process_fe_retries):
-            n, c = part()
+        items = 0
+        unpack = NetMessage.unpack
+        now_eps = self.sim.now + 1e-12
+        for link, rx, cv, qv, timed in self._drain_links:
+            if cv._consumed_since_update == 0:
+                if not qv or (timed and qv[0] > now_eps):
+                    continue   # drain() would be a no-op
+            payloads, drain_cost = rx.drain()
+            cost += drain_cost
+            items += len(payloads)
+            for raw in payloads:
+                message = unpack(raw)
+                if message.opcode == OP_TX:
+                    cost += self._handle_tx(link, message)
+                elif message.opcode == OP_RX_COMP:
+                    cost += self._handle_rx_comp(message)
+                else:
+                    cost += 20.0
+        if self._tx_pending:
+            n, c = self._process_tx_pending()
+            items += n
+            cost += c
+        if self._tx_comps:
+            n, c = self._process_tx_comps()
+            items += n
+            cost += c
+        if self._rx_comps:
+            n, c = self._process_rx_comps()
+            items += n
+            cost += c
+        if self._fe_retry:
+            n, c = self._process_fe_retries()
             items += n
             cost += c
         return items, cost
@@ -183,18 +236,19 @@ class NetBackend(Driver):
                 sent += 1
         if self._fe_retry:
             # Still full: back off and try again shortly.
-            self.sim.schedule(5e-6, self.kick)
+            self.sim.call_after(5e-6, self.kick)
         return sent, cost
 
     def _process_frontend_messages(self) -> tuple:
         cost = 0.0
         items = 0
+        unpack = NetMessage.unpack
         for link in self._links.values():
             payloads, drain_cost = link.rx.drain()
             cost += drain_cost
             items += len(payloads)
             for raw in payloads:
-                message = NetMessage.unpack(raw)
+                message = unpack(raw)
                 if message.opcode == OP_TX:
                     cost += self._handle_tx(link, message)
                 elif message.opcode == OP_RX_COMP:
@@ -210,8 +264,8 @@ class NetBackend(Driver):
             # Stale-epoch writer (§3.3.3): reject before touching the device.
             if self.fencing_enabled:
                 self.fence_rejects += 1
-                if self.flows.enabled:
-                    flow = self.flows.peek(message.buffer_addr)
+                if self._flows is not None:
+                    flow = self._flows.peek(message.buffer_addr)
                     if flow is not None:
                         flow.stage("be.fence", depth=len(self.nic.tx_ring))
                 self._send_to_frontend(
@@ -221,8 +275,9 @@ class NetBackend(Driver):
                 )
                 return self.TX_ITEM_NS
             self.stale_accepted += 1
-        if self.flows.enabled:
-            flow = self.flows.peek(message.buffer_addr)
+        flows = self._flows
+        if flows is not None:
+            flow = flows.peek(message.buffer_addr)
             if flow is not None:
                 flow.stage("be.tx", depth=len(self.nic.tx_ring))
         descriptor = TxDescriptor(
@@ -282,7 +337,7 @@ class NetBackend(Driver):
                 self.tx_retries += 1
                 backoff_s = (self.config.retry.tx_retry_backoff_us * 1e-6
                              * 2 ** (descriptor.retries - 1))
-                self.sim.schedule(backoff_s, self._repost_tx, descriptor)
+                self.sim.call_after(backoff_s, self._repost_tx, descriptor)
                 cost += self.COMP_ITEM_NS
                 continue
             if completion.status == TX_STATUS_DMA_ABORT:
@@ -329,8 +384,8 @@ class NetBackend(Driver):
                 self._fill_rx_ring()
                 continue
             self.rx_forwarded += 1
-            if self.flows.enabled:
-                flow = self.flows.peek(addr)
+            if self._flows is not None:
+                flow = self._flows.peek(addr)
                 if flow is not None:
                     fe_link = self._links.get(fe_name)
                     depth = (getattr(fe_link.tx, "pending", None)
@@ -369,7 +424,7 @@ class NetBackend(Driver):
             # Ring full: queue for retry (the real ring would backpressure
             # the polling loop the same way).
             self._fe_retry.append((fe_name, message))
-            self.sim.schedule(5e-6, self.kick)
+            self.sim.call_after(5e-6, self.kick)
             return 50.0
 
     # -- control plane (§3.3.3, §3.5) -----------------------------------------------------------

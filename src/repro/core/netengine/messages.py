@@ -10,7 +10,6 @@ answer stale posts with ``OP_TX_FENCED`` instead of touching the device.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
 
 from ...errors import ChannelError
 
@@ -37,15 +36,24 @@ assert NET_MESSAGE_SIZE == 16
 _VALID_OPS = {OP_TX, OP_TX_COMP, OP_RX, OP_RX_COMP, OP_TX_FENCED}
 
 
-@dataclass(frozen=True)
 class NetMessage:
-    """One decoded network-engine message."""
+    """One decoded network-engine message.
 
-    opcode: int
-    size: int
-    instance_ip: int
-    buffer_addr: int
-    epoch: int = 0
+    A plain slotted class rather than a dataclass: these are created and
+    unpacked once per message hop on the driver cores' hottest loop, where
+    a frozen dataclass pays ``object.__setattr__`` per field.  Value
+    semantics (eq/hash/repr over the five fields) are preserved.
+    """
+
+    __slots__ = ("opcode", "size", "instance_ip", "buffer_addr", "epoch")
+
+    def __init__(self, opcode: int, size: int, instance_ip: int,
+                 buffer_addr: int, epoch: int = 0):
+        self.opcode = opcode
+        self.size = size
+        self.instance_ip = instance_ip
+        self.buffer_addr = buffer_addr
+        self.epoch = epoch
 
     def pack(self) -> bytes:
         if self.opcode not in _VALID_OPS:
@@ -57,8 +65,26 @@ class NetMessage:
 
     @classmethod
     def unpack(cls, data: bytes) -> "NetMessage":
-        opcode, size, ip, addr, epoch = _FMT.unpack(data)
-        if opcode not in _VALID_OPS:
-            raise ChannelError(f"invalid network-engine opcode {opcode:#x}")
-        return cls(opcode=opcode, size=size, instance_ip=ip, buffer_addr=addr,
-                   epoch=epoch)
+        message = cls.__new__(cls)
+        (message.opcode, message.size, message.instance_ip,
+         message.buffer_addr, message.epoch) = _FMT.unpack(data)
+        if message.opcode not in _VALID_OPS:
+            raise ChannelError(f"invalid network-engine opcode {message.opcode:#x}")
+        return message
+
+    def _key(self) -> tuple:
+        return (self.opcode, self.size, self.instance_ip, self.buffer_addr,
+                self.epoch)
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is NetMessage:
+            return self._key() == other._key()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (f"NetMessage(opcode={self.opcode!r}, size={self.size!r}, "
+                f"instance_ip={self.instance_ip!r}, "
+                f"buffer_addr={self.buffer_addr!r}, epoch={self.epoch!r})")

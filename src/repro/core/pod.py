@@ -110,6 +110,20 @@ class CXLPod:
         bindings.bind_allocator(self.metrics, self.allocator)
         bindings.bind_tracer(self.metrics, self.tracer)
         bindings.bind_flows(self.metrics, self.flows)
+        # Components with precomputed obs dispatch (a _trace/_flows alias
+        # that is None while the facility is off).  enable_tracing() /
+        # enable_flow_tracing() re-run the set_* binding on each so aliases
+        # computed while disabled are swapped for the live object.
+        self._traced: list = []
+        self._flowed: list = []
+
+    def _bind_tracer(self, component) -> None:
+        component.set_tracer(self.tracer)
+        self._traced.append(component)
+
+    def _bind_flows(self, component) -> None:
+        component.set_flows(self.flows)
+        self._flowed.append(component)
 
     # -- topology ------------------------------------------------------------------
 
@@ -130,7 +144,7 @@ class CXLPod:
                                f"tx-{host.name}-local")
         frontend = NetFrontend(self.sim, host, buffer_domain, tx_region,
                                self.arp, self.config)
-        frontend.flows = self.flows
+        self._bind_flows(frontend)
         frontend.on_unregister = self._on_migration_unregister
         frontend.control = AllocatorClient(self.sim, self.allocator)
         self.frontends[host.name] = frontend
@@ -174,10 +188,10 @@ class CXLPod:
                              self.config, tx_buffers_local=(self.mode == "local"))
         backend.control = AllocatorClient(self.sim, self.allocator)
         backend.epochs = self.allocator.epochs
-        nic.tracer = self.tracer
-        backend.tracer = self.tracer
-        nic.flows = self.flows
-        backend.flows = self.flows
+        self._bind_tracer(nic)
+        self._bind_tracer(backend)
+        self._bind_flows(nic)
+        self._bind_flows(backend)
         bindings.bind_nic(self.metrics, nic)
         bindings.bind_driver(self.metrics, backend)
         self.backends[nic.name] = backend
@@ -207,8 +221,8 @@ class CXLPod:
             )
         else:
             pair = ChannelPair.local(self.sim, name)
-        pair.a_to_b.tracer = self.tracer
-        pair.b_to_a.tracer = self.tracer
+        self._bind_tracer(pair.a_to_b)
+        self._bind_tracer(pair.b_to_a)
         bindings.bind_channel_pair(self.metrics, pair)
         frontend.connect_backend(BackendLink(
             name=backend.nic.name, tx=pair.a_to_b, rx=pair.b_to_a,
@@ -277,9 +291,9 @@ class CXLPod:
         backend.control = AllocatorClient(self.sim, self.allocator,
                                           storage=True)
         backend.epochs = self.allocator.epochs
-        ssd.tracer = self.tracer
-        ssd.flows = self.flows
-        backend.flows = self.flows
+        self._bind_tracer(ssd)
+        self._bind_flows(ssd)
+        self._bind_flows(backend)
         bindings.bind_ssd(self.metrics, ssd)
         bindings.bind_driver(self.metrics, backend)
         self.allocator.register_storage_backend(
@@ -302,7 +316,7 @@ class CXLPod:
 
                 region = Region(12 << 30, 256 << 20, f"sbuf-{host.name}-local")
             frontend = StorageFrontend(self.sim, host, domain, region, self.config)
-            frontend.flows = self.flows
+            self._bind_flows(frontend)
             frontend.control = AllocatorClient(self.sim, self.allocator)
             frontend.start()
             bindings.bind_driver(self.metrics, frontend)
@@ -343,8 +357,8 @@ class CXLPod:
                 )
             else:
                 pair = ChannelPair.local(self.sim, f"st-{link_key}")
-            pair.a_to_b.tracer = self.tracer
-            pair.b_to_a.tracer = self.tracer
+            self._bind_tracer(pair.a_to_b)
+            self._bind_tracer(pair.b_to_a)
             bindings.bind_channel_pair(self.metrics, pair)
             frontend.connect_backend(ssd.name, pair.a_to_b, pair.b_to_a)
             backend.connect_frontend(instance.host.name, pair.b_to_a, pair.a_to_b)
@@ -463,6 +477,10 @@ class CXLPod:
         self.tracer.max_events = max_events
         self.tracer.categories = (set(categories) if categories is not None
                                   else None)
+        # Swap the precomputed None-dispatch for the live tracer on every
+        # component bound while tracing was still off.
+        for component in self._traced:
+            component.set_tracer(self.tracer)
         return self.tracer
 
     def enable_flow_tracing(self, max_records: int = 100_000) -> FlowRegistry:
@@ -470,6 +488,10 @@ class CXLPod:
         pod's registry yields a record attributing its latency across hops."""
         self.flows.enabled = True
         self.flows.max_records = max_records
+        # Swap the precomputed None-dispatch for the live registry on every
+        # component bound while flow tracing was still off.
+        for component in self._flowed:
+            component.set_flows(self.flows)
         return self.flows
 
     def start_telemetry(self, period_s: Optional[float] = None) -> TelemetryScraper:

@@ -36,6 +36,14 @@ class StorageBackend(Driver):
 
     ITEM_NS = 150.0
     flows = NULL_FLOWS
+    # Precomputed dispatch: None while flow tracing is disabled; rebound by
+    # set_flows() when the pod enables it.
+    _flows = None
+
+    def set_flows(self, flows) -> None:
+        """Bind a flow registry; hot paths keep a None-or-registry alias."""
+        self.flows = flows
+        self._flows = flows if flows.enabled else None
 
     def __init__(
         self,
@@ -69,8 +77,8 @@ class StorageBackend(Driver):
     # -- SSD callback ----------------------------------------------------------
 
     def _on_ssd_completion(self, completion: Completion) -> None:
-        if self.flows.enabled:
-            flow = self.flows.peek(completion.descriptor.addr)
+        if self._flows is not None:
+            flow = self._flows.peek(completion.descriptor.addr)
             if flow is not None:
                 flow.stage("sbe.comp", depth=len(self._completions))
         self._completions.append(completion)
@@ -81,16 +89,22 @@ class StorageBackend(Driver):
     def _process(self) -> tuple:
         items = 0
         cost = 0.0
+        now_eps = self.sim.now + 1e-12
         for name, (tx, rx) in self._links.items():
+            if rx.counter_view._consumed_since_update == 0:
+                qv = rx.queue_view
+                if not qv or (rx.timed and qv[0] > now_eps):
+                    continue   # drain() would be a no-op
             payloads, drain_cost = rx.drain()
             cost += drain_cost
             items += len(payloads)
+            unpack = StorageMessage.unpack
             for raw in payloads:
-                message = StorageMessage.unpack(raw)
-                cost += self._handle_request(name, message)
-        n, c = self._process_completions()
-        items += n
-        cost += c
+                cost += self._handle_request(name, unpack(raw))
+        if self._completions:
+            n, c = self._process_completions()
+            items += n
+            cost += c
         return items, cost
 
     def _handle_request(self, fe_name: str, message: StorageMessage) -> float:
@@ -102,15 +116,15 @@ class StorageBackend(Driver):
             # Stale-epoch writer (§3.3.3): reject before touching the drive.
             if self.fencing_enabled:
                 self.fence_rejects += 1
-                if self.flows.enabled:
-                    flow = self.flows.peek(message.buffer_addr)
+                if self._flows is not None:
+                    flow = self._flows.peek(message.buffer_addr)
                     if flow is not None:
                         flow.stage("sbe.fence", depth=len(self.ssd.sq))
                 self._send_completion(fe_name, message, STATUS_FENCED)
                 return self.ITEM_NS
             self.stale_accepted += 1
-        if self.flows.enabled:
-            flow = self.flows.peek(message.buffer_addr)
+        if self._flows is not None:
+            flow = self._flows.peek(message.buffer_addr)
             if flow is not None:
                 flow.stage("sbe.submit", depth=len(self.ssd.sq))
         self._inflight[message.cid] = fe_name
@@ -185,8 +199,8 @@ class StorageBackend(Driver):
     def _send_completion(self, fe_name: str, request: StorageMessage,
                          status: int) -> None:
         tx, _ = self._links[fe_name]
-        if self.flows.enabled:
-            flow = self.flows.peek(request.buffer_addr)
+        if self._flows is not None:
+            flow = self._flows.peek(request.buffer_addr)
             if flow is not None:
                 flow.stage("chan.sbe2sfe",
                            depth=getattr(tx, "pending", None))

@@ -61,6 +61,14 @@ class StorageFrontend(Driver):
 
     ITEM_NS = 180.0
     flows = NULL_FLOWS
+    # Precomputed dispatch: None while flow tracing is disabled; rebound by
+    # set_flows() when the pod enables it.
+    _flows = None
+
+    def set_flows(self, flows) -> None:
+        """Bind a flow registry; hot paths keep a None-or-registry alias."""
+        self.flows = flows
+        self._flows = flows if flows.enabled else None
 
     def __init__(
         self,
@@ -187,8 +195,8 @@ class StorageFrontend(Driver):
 
     def _enqueue(self, backend_name: str, message: StorageMessage) -> None:
         tx, _ = self._links[backend_name]
-        if self.flows.enabled:
-            flow = self.flows.peek(message.buffer_addr)
+        if self._flows is not None:
+            flow = self._flows.peek(message.buffer_addr)
             if flow is not None:
                 flow.stage("chan.sfe2sbe",
                            depth=getattr(tx, "pending", None))
@@ -202,12 +210,18 @@ class StorageFrontend(Driver):
     def _process(self) -> tuple:
         items = 0
         cost = 0.0
+        now_eps = self.sim.now + 1e-12
         for name, (tx, rx) in self._links.items():
+            if rx.counter_view._consumed_since_update == 0:
+                qv = rx.queue_view
+                if not qv or (rx.timed and qv[0] > now_eps):
+                    continue   # drain() would be a no-op
             payloads, drain_cost = rx.drain()
             cost += drain_cost
             items += len(payloads)
+            unpack = StorageMessage.unpack
             for raw in payloads:
-                message = StorageMessage.unpack(raw)
+                message = unpack(raw)
                 if message.opcode == SOP_COMPLETION:
                     cost += self._handle_completion(message)
         return items, cost
@@ -237,8 +251,8 @@ class StorageFrontend(Driver):
     def _schedule_retry(self, cid: int, state: dict) -> None:
         state["retries"] += 1
         self.retries += 1
-        if self.flows.enabled:
-            flow = self.flows.peek(state["region"].base)
+        if self._flows is not None:
+            flow = self._flows.peek(state["region"].base)
             if flow is not None:
                 flow.stage("sfe.retry", depth=state["retries"])
         backoff = (self.config.retry.storage_backoff_ms
@@ -302,9 +316,9 @@ class StorageFrontend(Driver):
         """Retire a request: release its buffer and call the instance back."""
         self._pending.pop(cid, None)
         region: Region = state["region"]
-        if self.flows.enabled:
+        if self._flows is not None:
             # Pop: the buffer region is freed below and will be recycled.
-            flow = self.flows.pop(region.base)
+            flow = self._flows.pop(region.base)
             if flow is not None:
                 flow.stage("sfe.comp")
         self._space.free(region)

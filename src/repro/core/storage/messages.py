@@ -11,7 +11,6 @@ requests with ``STATUS_FENCED`` instead of touching the drive.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
 
 from ...errors import ChannelError
 
@@ -43,20 +42,31 @@ STORAGE_MESSAGE_SIZE = 64
 _VALID_OPS = {SOP_READ, SOP_WRITE, SOP_FLUSH, SOP_COMPLETION}
 
 
-@dataclass(frozen=True)
 class StorageMessage:
-    """One decoded 64 B storage-engine message."""
+    """One decoded 64 B storage-engine message.
 
-    opcode: int
-    cid: int
-    slba: int
-    nlb: int
-    buffer_addr: int
-    instance_ip: int
-    status: int = 0
-    nsid: int = 1
-    flags: int = 0
-    epoch: int = 0
+    A plain slotted class rather than a dataclass: messages are created and
+    unpacked once per hop on the storage drivers' polling loops, where a
+    frozen dataclass pays ``object.__setattr__`` per field.  Value semantics
+    (eq/hash/repr over all ten fields) are preserved.
+    """
+
+    __slots__ = ("opcode", "cid", "slba", "nlb", "buffer_addr", "instance_ip",
+                 "status", "nsid", "flags", "epoch")
+
+    def __init__(self, opcode: int, cid: int, slba: int, nlb: int,
+                 buffer_addr: int, instance_ip: int, status: int = 0,
+                 nsid: int = 1, flags: int = 0, epoch: int = 0):
+        self.opcode = opcode
+        self.cid = cid
+        self.slba = slba
+        self.nlb = nlb
+        self.buffer_addr = buffer_addr
+        self.instance_ip = instance_ip
+        self.status = status
+        self.nsid = nsid
+        self.flags = flags
+        self.epoch = epoch
 
     def pack(self) -> bytes:
         if self.opcode not in _VALID_OPS:
@@ -68,10 +78,31 @@ class StorageMessage:
 
     @classmethod
     def unpack(cls, data: bytes) -> "StorageMessage":
-        (opcode, flags, cid, nsid, slba, nlb, addr, ip, status,
-         epoch) = _FMT.unpack_from(data)
-        if opcode not in _VALID_OPS:
-            raise ChannelError(f"invalid storage opcode {opcode:#x}")
-        return cls(opcode=opcode, cid=cid, slba=slba, nlb=nlb, buffer_addr=addr,
-                   instance_ip=ip, status=status, nsid=nsid, flags=flags,
-                   epoch=epoch)
+        message = cls.__new__(cls)
+        (message.opcode, message.flags, message.cid, message.nsid,
+         message.slba, message.nlb, message.buffer_addr, message.instance_ip,
+         message.status, message.epoch) = _FMT.unpack_from(data)
+        if message.opcode not in _VALID_OPS:
+            raise ChannelError(f"invalid storage opcode {message.opcode:#x}")
+        return message
+
+    def _key(self) -> tuple:
+        return (self.opcode, self.cid, self.slba, self.nlb, self.buffer_addr,
+                self.instance_ip, self.status, self.nsid, self.flags,
+                self.epoch)
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is StorageMessage:
+            return self._key() == other._key()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (f"StorageMessage(opcode={self.opcode!r}, cid={self.cid!r}, "
+                f"slba={self.slba!r}, nlb={self.nlb!r}, "
+                f"buffer_addr={self.buffer_addr!r}, "
+                f"instance_ip={self.instance_ip!r}, status={self.status!r}, "
+                f"nsid={self.nsid!r}, flags={self.flags!r}, "
+                f"epoch={self.epoch!r})")

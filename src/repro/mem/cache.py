@@ -18,15 +18,23 @@ reality Oasis is built for.
 
 Every operation returns its CPU cost in nanoseconds; callers (driver loops,
 the Figure 6 microbench) accumulate those costs into virtual time.
+
+This sits on the hottest path of the simulator (every channel poll, doorbell
+and payload move goes through it), so the single-line cases -- 16 B messages,
+8 B counters, aligned 64 B slots -- take a branch-free fast path, and the
+per-line link accounting writes straight into this host's
+:class:`~repro.mem.cxl.LinkStats` tables instead of re-resolving them per
+operation.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from ..config import CACHE_LINE, CacheTimings
+from ..errors import MemoryFault
 from .cxl import CXLMemoryPool, lines_spanned
 
 __all__ = ["HostCache", "CacheStats"]
@@ -66,6 +74,10 @@ class _Line:
 class HostCache:
     """One host's view of the shared pool through its (non-coherent) caches."""
 
+    __slots__ = ("pool", "host", "capacity_lines", "timings", "_lines",
+                 "stats", "_track_lru", "_rd", "_wr", "writeback_hook",
+                 "_wb_fault")
+
     def __init__(
         self,
         pool: CXLMemoryPool,
@@ -79,6 +91,14 @@ class HostCache:
         self.timings = timings or pool.timings
         self._lines: "OrderedDict[int, _Line]" = OrderedDict()
         self.stats = CacheStats()
+        # LRU order only matters for a bounded cache; the unbounded default
+        # skips the per-access move_to_end.
+        self._track_lru = capacity_lines is not None
+        # This host's per-category byte counters, bound lazily on the first
+        # accounted transfer so the pool's link table is populated exactly
+        # when traffic first flows (not when the cache object is built).
+        self._rd = None
+        self._wr = None
         # Optional interception of explicit writebacks (CLWB/CLFLUSHOPT of a
         # dirty line).  The Figure 6 microbench uses this to model the posted
         # write's flight time: the hook receives (line_index, data, category)
@@ -91,6 +111,15 @@ class HostCache:
 
     # -- internals ----------------------------------------------------------
 
+    def _account(self, direction_write: bool, category: str, nbytes: int) -> None:
+        table = self._wr if direction_write else self._rd
+        if table is None:
+            stats = self.pool.stats_for(self.host)
+            self._rd = stats.read_bytes
+            self._wr = stats.write_bytes
+            table = self._wr if direction_write else self._rd
+        table[category] = table.get(category, 0) + nbytes
+
     def _evict_if_needed(self) -> None:
         while self.capacity_lines is not None and len(self._lines) > self.capacity_lines:
             index, line = self._lines.popitem(last=False)
@@ -102,11 +131,18 @@ class HostCache:
             self.stats.evictions += 1
 
     def _fill(self, index: int, category: str) -> _Line:
-        data = bytearray(self.pool.read_line(index))
-        self.pool._account(self.host, "read", category, CACHE_LINE)
+        pool = self.pool
+        if index < 0 or (index + 1) * CACHE_LINE > pool.size:
+            raise MemoryFault(
+                f"access [{index * CACHE_LINE}, {(index + 1) * CACHE_LINE}) "
+                f"outside pool of {pool.size} B")
+        src = pool._lines.get(index)
+        data = bytearray(src) if src is not None else bytearray(CACHE_LINE)
         line = _Line(data)
         self._lines[index] = line
-        self._evict_if_needed()
+        if self._track_lru:
+            self._evict_if_needed()
+        self._account(False, category, CACHE_LINE)
         return line
 
     def _touch(self, index: int) -> None:
@@ -134,26 +170,65 @@ class HostCache:
         the caller's problem, exactly as on real non-coherent CXL 2.0.
         """
         t = self.timings
+        index = addr // CACHE_LINE
+        offset = addr - index * CACHE_LINE
+        if offset + size <= CACHE_LINE:
+            # Fast path: the load is contained in one line.
+            line = self._lines.get(index)
+            stats = self.stats
+            if line is None:
+                # _fill, inlined (this is the hottest miss path in the sim).
+                pool = self.pool
+                if index < 0 or (index + 1) * CACHE_LINE > pool.size:
+                    raise MemoryFault(
+                        f"access [{index * CACHE_LINE}, {(index + 1) * CACHE_LINE}) "
+                        f"outside pool of {pool.size} B")
+                src = pool._lines.get(index)
+                line = _Line(bytearray(src) if src is not None else bytearray(CACHE_LINE))
+                self._lines[index] = line
+                if self._track_lru:
+                    self._evict_if_needed()
+                rd = self._rd
+                if rd is None:
+                    link_stats = pool.stats_for(self.host)
+                    self._rd = rd = link_stats.read_bytes
+                    self._wr = link_stats.write_bytes
+                rd[category] = rd.get(category, 0) + CACHE_LINE
+                stats.misses += 1
+                cost = 0.0 + t.cxl_load_ns
+            else:
+                if self._track_lru:
+                    self._lines.move_to_end(index)
+                stats.hits += 1
+                cost = 0.0 + t.cache_hit_ns
+            return bytes(line.data[offset:offset + size]), cost
         out = bytearray(size)
         cost = 0.0
         pos = 0
         first_miss = True
+        lines = self._lines
+        stats = self.stats
+        track = self._track_lru
         while pos < size:
             index = (addr + pos) // CACHE_LINE
-            offset = (addr + pos) % CACHE_LINE
-            take = min(CACHE_LINE - offset, size - pos)
-            line = self._lines.get(index)
+            offset = (addr + pos) - index * CACHE_LINE
+            take = CACHE_LINE - offset
+            rest = size - pos
+            if rest < take:
+                take = rest
+            line = lines.get(index)
             if line is None:
                 line = self._fill(index, category)
-                self.stats.misses += 1
+                stats.misses += 1
                 # A sequential multi-line load overlaps misses after the
                 # first (hardware prefetch + MLP): only the first pays the
                 # full load-to-use latency.
                 cost += t.cxl_load_ns if first_miss else t.cxl_stream_ns
                 first_miss = False
             else:
-                self._touch(index)
-                self.stats.hits += 1
+                if track:
+                    lines.move_to_end(index)
+                stats.hits += 1
                 cost += t.cache_hit_ns
             out[pos:pos + take] = line.data[offset:offset + take]
             pos += take
@@ -163,31 +238,81 @@ class HostCache:
         """CPU store (write-allocate).  Dirty data stays local until CLWB."""
         t = self.timings
         size = len(data)
+        index = addr // CACHE_LINE
+        offset = addr - index * CACHE_LINE
+        if offset + size <= CACHE_LINE:
+            # Fast path: the store is contained in one line.
+            line = self._lines.get(index)
+            if line is None:
+                if offset == 0 and size == CACHE_LINE:
+                    # Full-line store: no read-for-ownership needed.
+                    line = _Line(bytearray(CACHE_LINE))
+                    self._lines[index] = line
+                    if self._track_lru:
+                        self._evict_if_needed()
+                    cost = 0.0
+                else:
+                    # _fill (read-for-ownership), inlined.
+                    pool = self.pool
+                    if index < 0 or (index + 1) * CACHE_LINE > pool.size:
+                        raise MemoryFault(
+                            f"access [{index * CACHE_LINE}, "
+                            f"{(index + 1) * CACHE_LINE}) "
+                            f"outside pool of {pool.size} B")
+                    src = pool._lines.get(index)
+                    line = _Line(bytearray(src) if src is not None
+                                 else bytearray(CACHE_LINE))
+                    self._lines[index] = line
+                    if self._track_lru:
+                        self._evict_if_needed()
+                    rd = self._rd
+                    if rd is None:
+                        link_stats = pool.stats_for(self.host)
+                        self._rd = rd = link_stats.read_bytes
+                        self._wr = link_stats.write_bytes
+                    rd[category] = rd.get(category, 0) + CACHE_LINE
+                    cost = 0.0 + t.cxl_load_ns
+            else:
+                if self._track_lru:
+                    self._lines.move_to_end(index)
+                cost = 0.0
+            line.data[offset:offset + size] = data
+            line.dirty = True
+            self.stats.stores += 1
+            return cost + t.store_ns
         cost = 0.0
         pos = 0
         first_miss = True
+        lines = self._lines
+        stats = self.stats
+        track = self._track_lru
         while pos < size:
             index = (addr + pos) // CACHE_LINE
-            offset = (addr + pos) % CACHE_LINE
-            take = min(CACHE_LINE - offset, size - pos)
-            line = self._lines.get(index)
+            offset = (addr + pos) - index * CACHE_LINE
+            take = CACHE_LINE - offset
+            rest = size - pos
+            if rest < take:
+                take = rest
+            line = lines.get(index)
             if line is None:
                 if offset == 0 and take == CACHE_LINE:
                     # Full-line store: no read-for-ownership needed.
                     line = _Line(bytearray(CACHE_LINE))
-                    self._lines[index] = line
-                    self._evict_if_needed()
+                    lines[index] = line
+                    if track:
+                        self._evict_if_needed()
                 else:
                     line = self._fill(index, category)
                     # RFO fetch; overlapped after the first miss (MLP).
                     cost += t.cxl_load_ns if first_miss else t.cxl_stream_ns
                     first_miss = False
             else:
-                self._touch(index)
+                if track:
+                    lines.move_to_end(index)
             line.data[offset:offset + take] = data[pos:pos + take]
             line.dirty = True
             cost += t.store_ns
-            self.stats.stores += 1
+            stats.stores += 1
             pos += take
         return cost
 
@@ -199,13 +324,73 @@ class HostCache:
         line = self._lines.get(index)
         if line is None or not line.dirty:
             return self.timings.clflush_issue_ns
-        self._write_back(index, line, category)
+        # _write_back, inlined: every visible channel message pays one of
+        # these, so the common hook-free, fault-free case stays flat.
+        if self._wb_fault is not None and self._writeback_faulted(index, line, category):
+            line.dirty = False
+            self.stats.writebacks += 1
+            return self.timings.clwb_ns
+        hook = self.writeback_hook
+        if hook is not None:
+            hook(index, bytes(line.data), category)
+        else:
+            pool = self.pool
+            if index < 0 or (index + 1) * CACHE_LINE > pool.size:
+                raise MemoryFault(
+                    f"access [{index * CACHE_LINE}, {(index + 1) * CACHE_LINE}) "
+                    f"outside pool of {pool.size} B")
+            pool._lines[index] = bytearray(line.data)
+        wr = self._wr
+        if wr is None:
+            link_stats = self.pool.stats_for(self.host)
+            self._rd = link_stats.read_bytes
+            self._wr = wr = link_stats.write_bytes
+        wr[category] = wr.get(category, 0) + CACHE_LINE
         line.dirty = False
         self.stats.writebacks += 1
         return self.timings.clwb_ns
 
     def clwb_range(self, addr: int, size: int, category: str = "payload") -> float:
-        return sum(self.clwb(i * CACHE_LINE, category) for i in lines_spanned(addr, size))
+        if size > 0 and addr >= 0 and \
+                addr // CACHE_LINE == (addr + size - 1) // CACHE_LINE:
+            # Single-line range (counters, 16/64 B messages): skip the loop.
+            return self.clwb(addr, category)
+        if self._wb_fault is not None or self.writeback_hook is not None:
+            cost = 0.0
+            for i in lines_spanned(addr, size):
+                cost += self.clwb(i * CACHE_LINE, category)
+            return cost
+        # Hook-free fast path: clwb() inlined per spanned line (every TX
+        # payload writeback walks this loop).
+        t = self.timings
+        clwb_ns = t.clwb_ns
+        issue_ns = t.clflush_issue_ns
+        lines = self._lines
+        pool = self.pool
+        pool_size = pool.size
+        pool_lines = pool._lines
+        stats = self.stats
+        wr = self._wr
+        cost = 0.0
+        for i in lines_spanned(addr, size):
+            line = lines.get(i)
+            if line is None or not line.dirty:
+                cost += issue_ns
+                continue
+            if i < 0 or (i + 1) * CACHE_LINE > pool_size:
+                raise MemoryFault(
+                    f"access [{i * CACHE_LINE}, {(i + 1) * CACHE_LINE}) "
+                    f"outside pool of {pool_size} B")
+            pool_lines[i] = bytearray(line.data)
+            if wr is None:
+                link_stats = pool.stats_for(self.host)
+                self._rd = link_stats.read_bytes
+                self._wr = wr = link_stats.write_bytes
+            wr[category] = wr.get(category, 0) + CACHE_LINE
+            line.dirty = False
+            stats.writebacks += 1
+            cost += clwb_ns
+        return cost
 
     def clflush(self, addr: int, fenced: bool = False, category: str = "payload") -> float:
         """CLFLUSHOPT: write back if dirty, then drop the line.
@@ -218,10 +403,11 @@ class HostCache:
         index = addr // CACHE_LINE
         line = self._lines.pop(index, None)
         if line is not None:
+            stats = self.stats
             if line.dirty:
                 self._write_back(index, line, category)
-                self.stats.writebacks += 1
-            self.stats.invalidations += 1
+                stats.writebacks += 1
+            stats.invalidations += 1
         return t.clflush_ns if fenced else t.clflush_issue_ns
 
     def inject_writeback_fault(self, count: int = 1, mode: str = "drop",
@@ -261,24 +447,66 @@ class HostCache:
         half = CACHE_LINE // 2
         merged = bytes(line.data[:half]) + self.pool.read_line(index)[half:]
         self.pool.write_line(index, merged)
-        self.pool._account(self.host, "write", category, CACHE_LINE)
+        self._account(True, category, CACHE_LINE)
         self.stats.writebacks_partial += 1
         return True
 
     def _write_back(self, index: int, line: "_Line", category: str) -> None:
-        if self._writeback_faulted(index, line, category):
+        if self._wb_fault is not None and self._writeback_faulted(index, line, category):
             return
-        if self.writeback_hook is not None:
-            self.writeback_hook(index, bytes(line.data), category)
+        hook = self.writeback_hook
+        if hook is not None:
+            hook(index, bytes(line.data), category)
         else:
-            self.pool.write_line(index, bytes(line.data))
-        self.pool._account(self.host, "write", category, CACHE_LINE)
+            pool = self.pool
+            if index < 0 or (index + 1) * CACHE_LINE > pool.size:
+                raise MemoryFault(
+                    f"access [{index * CACHE_LINE}, {(index + 1) * CACHE_LINE}) "
+                    f"outside pool of {pool.size} B")
+            pool._lines[index] = bytearray(line.data)
+        self._account(True, category, CACHE_LINE)
 
     def clflush_range(self, addr: int, size: int, fenced: bool = False,
                       category: str = "payload") -> float:
-        return sum(
-            self.clflush(i * CACHE_LINE, fenced, category) for i in lines_spanned(addr, size)
-        )
+        if size > 0 and addr >= 0 and \
+                addr // CACHE_LINE == (addr + size - 1) // CACHE_LINE:
+            # Single-line range: skip the loop.
+            return self.clflush(addr, fenced, category)
+        if self._wb_fault is not None or self.writeback_hook is not None:
+            cost = 0.0
+            for i in lines_spanned(addr, size):
+                cost += self.clflush(i * CACHE_LINE, fenced, category)
+            return cost
+        # Hook-free fast path: clflush() inlined per spanned line (every RX
+        # buffer invalidation walks this loop).
+        t = self.timings
+        per_line_ns = t.clflush_ns if fenced else t.clflush_issue_ns
+        lines = self._lines
+        pool = self.pool
+        pool_size = pool.size
+        pool_lines = pool._lines
+        stats = self.stats
+        wr = self._wr
+        cost = 0.0
+        for i in lines_spanned(addr, size):
+            line = lines.pop(i, None)
+            if line is not None:
+                if line.dirty:
+                    # _write_back, inlined (hook-free, fault-free).
+                    if i < 0 or (i + 1) * CACHE_LINE > pool_size:
+                        raise MemoryFault(
+                            f"access [{i * CACHE_LINE}, {(i + 1) * CACHE_LINE})"
+                            f" outside pool of {pool_size} B")
+                    pool_lines[i] = bytearray(line.data)
+                    if wr is None:
+                        link_stats = pool.stats_for(self.host)
+                        self._rd = link_stats.read_bytes
+                        self._wr = wr = link_stats.write_bytes
+                    wr[category] = wr.get(category, 0) + CACHE_LINE
+                    stats.writebacks += 1
+                stats.invalidations += 1
+            cost += per_line_ns
+        return cost
 
     def mfence(self) -> float:
         self.stats.fences += 1
@@ -321,7 +549,7 @@ class HostCache:
             line = self._lines.get(index)
             if line is not None and line.dirty:
                 self.pool.write_line(index, bytes(line.data))
-                self.pool._account(self.host, "write", "snoop", CACHE_LINE)
+                self._account(True, "snoop", CACHE_LINE)
                 line.dirty = False
                 self.stats.dma_read_snoop_hits += 1
                 cost += self.timings.clwb_ns

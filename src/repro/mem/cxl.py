@@ -114,7 +114,11 @@ class CXLMemoryPool:
     def _account(self, host: Optional[str], direction: str, category: str, nbytes: int) -> None:
         if host is None:
             return
-        self.stats_for(host).record(direction, category, nbytes)
+        stats = self.link_stats.get(host)
+        if stats is None:
+            stats = self.link_stats[host] = LinkStats()
+        table = stats.read_bytes if direction == "read" else stats.write_bytes
+        table[category] = table.get(category, 0) + nbytes
 
     def total_traffic(self) -> int:
         return sum(stats.total() for stats in self.link_stats.values())
@@ -127,12 +131,18 @@ class CXLMemoryPool:
 
     def read_line(self, index: int) -> bytes:
         """Return the 64 B line at ``index`` (zeros if never written)."""
-        self._check(index * CACHE_LINE, CACHE_LINE)
+        if index < 0 or (index + 1) * CACHE_LINE > self.size:
+            raise MemoryFault(
+                f"access [{index * CACHE_LINE}, {(index + 1) * CACHE_LINE}) "
+                f"outside pool of {self.size} B")
         data = self._lines.get(index)
         return bytes(data) if data is not None else bytes(CACHE_LINE)
 
     def write_line(self, index: int, data: bytes) -> None:
-        self._check(index * CACHE_LINE, CACHE_LINE)
+        if index < 0 or (index + 1) * CACHE_LINE > self.size:
+            raise MemoryFault(
+                f"access [{index * CACHE_LINE}, {(index + 1) * CACHE_LINE}) "
+                f"outside pool of {self.size} B")
         if len(data) != CACHE_LINE:
             raise MemoryFault(f"line write must be {CACHE_LINE} B, got {len(data)}")
         self._lines[index] = bytearray(data)
@@ -149,17 +159,23 @@ class CXLMemoryPool:
         """
         self._check(addr, size)
         out = bytearray(size)
+        lines = self._lines
         pos = 0
         while pos < size:
-            index = (addr + pos) // CACHE_LINE
-            offset = (addr + pos) % CACHE_LINE
-            take = min(CACHE_LINE - offset, size - pos)
-            line = self._lines.get(index)
+            cursor = addr + pos
+            index = cursor >> 6
+            offset = cursor & 63
+            take = CACHE_LINE - offset
+            rest = size - pos
+            if rest < take:
+                take = rest
+            line = lines.get(index)
             if line is not None:
                 out[pos:pos + take] = line[offset:offset + take]
             pos += take
         nbytes = account_bytes if account_bytes is not None else (
-            len(lines_spanned(addr, size)) * CACHE_LINE
+            0 if size <= 0 else
+            ((addr + size - 1) // CACHE_LINE - addr // CACHE_LINE + 1) * CACHE_LINE
         )
         self._account(host, "read", category, nbytes)
         return bytes(out)
@@ -170,19 +186,25 @@ class CXLMemoryPool:
         """Device write straight to the pool (no CPU cache involvement)."""
         size = len(data)
         self._check(addr, size)
+        lines = self._lines
         pos = 0
         while pos < size:
-            index = (addr + pos) // CACHE_LINE
-            offset = (addr + pos) % CACHE_LINE
-            take = min(CACHE_LINE - offset, size - pos)
-            line = self._lines.get(index)
+            cursor = addr + pos
+            index = cursor >> 6
+            offset = cursor & 63
+            take = CACHE_LINE - offset
+            rest = size - pos
+            if rest < take:
+                take = rest
+            line = lines.get(index)
             if line is None:
                 line = bytearray(CACHE_LINE)
-                self._lines[index] = line
+                lines[index] = line
             line[offset:offset + take] = data[pos:pos + take]
             pos += take
         nbytes = account_bytes if account_bytes is not None else (
-            len(lines_spanned(addr, size)) * CACHE_LINE
+            0 if size <= 0 else
+            ((addr + size - 1) // CACHE_LINE - addr // CACHE_LINE + 1) * CACHE_LINE
         )
         self._account(host, "write", category, nbytes)
 

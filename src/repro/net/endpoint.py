@@ -52,7 +52,7 @@ class ExternalEndpoint:
         if frame.dst_mac == 0 and self._arp is not None:
             frame.dst_mac = self._arp.lookup(frame.dst_ip)
         self.tx_frames += 1
-        self.sim.schedule(self.stack_latency, self.port.receive, frame)
+        self.sim.call_after(self.stack_latency, self.port.receive, frame)
 
     def add_handler(self, handler: Callable[[Frame], None]) -> None:
         self._handlers.append(handler)
@@ -63,7 +63,7 @@ class ExternalEndpoint:
             if flow is not None:
                 flow.stage("client.rx")
         self.rx_frames += 1
-        self.sim.schedule(self.stack_latency, self._dispatch, frame)
+        self.sim.call_after(self.stack_latency, self._dispatch, frame)
 
     def _dispatch(self, frame: Frame) -> None:
         for handler in self._handlers:

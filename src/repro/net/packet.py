@@ -61,7 +61,7 @@ def ip_str(ip: int) -> str:
     return ".".join(str((ip >> (8 * i)) & 0xFF) for i in reversed(range(4)))
 
 
-@dataclass
+@dataclass(slots=True)
 class Frame:
     """One Ethernet frame with IPv4/transport fields flattened in."""
 
@@ -110,18 +110,10 @@ class Frame:
          seq, ack, flags, wire_size, payload_len) = _HEADER.unpack_from(data)
         payload = bytes(data[HEADER_SIZE:HEADER_SIZE + payload_len])
         return cls(
-            dst_mac=dst_mac,
-            src_mac=src_mac,
-            src_ip=src_ip,
-            dst_ip=dst_ip,
-            proto=proto,
-            src_port=src_port,
-            dst_port=dst_port,
-            seq=seq,
-            ack=ack,
-            flags=flags,
-            payload=payload,
-            wire_size=wire_size if wire_size else max(ETH_MIN_FRAME, HEADER_SIZE + payload_len),
+            dst_mac, src_mac, src_ip, dst_ip, proto, src_port, dst_port,
+            seq, ack, flags, payload,
+            wire_size if wire_size else max(ETH_MIN_FRAME,
+                                            HEADER_SIZE + payload_len),
         )
 
     @property

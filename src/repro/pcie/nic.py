@@ -46,6 +46,20 @@ class SimNIC(PCIeDevice):
 
     tracer = NULL_TRACER
     flows = NULL_FLOWS
+    # Precomputed dispatch: None while the facility is disabled; rebound by
+    # set_tracer()/set_flows() when the pod enables tracing / flow tracing.
+    _trace = None
+    _flows = None
+
+    def set_tracer(self, tracer) -> None:
+        """Bind a tracer; the DMA hot path keeps a None-or-tracer alias."""
+        self.tracer = tracer
+        self._trace = tracer if tracer.enabled else None
+
+    def set_flows(self, flows) -> None:
+        """Bind a flow registry; the hot path keeps a None-or-registry alias."""
+        self.flows = flows
+        self._flows = flows if flows.enabled else None
 
     def __init__(
         self,
@@ -121,8 +135,9 @@ class SimNIC(PCIeDevice):
         if self._tx_scheduled or self.tx_ring.empty:
             return
         self._tx_scheduled = True
-        start = max(self.sim.now, self._tx_busy_until)
-        self.sim.at(start, self._tx_process_one)
+        now = self.sim.now
+        busy = self._tx_busy_until
+        self.sim.call_at(busy if busy > now else now, self._tx_process_one)
 
     def inject_dma_abort(self, count: int = 1) -> None:
         """Arm a mid-transfer fault: the next ``count`` TX descriptors abort
@@ -145,8 +160,9 @@ class SimNIC(PCIeDevice):
             self._abort_tx_next -= 1
             self.dma_aborts += 1
             self.aer.non_fatal += 1
-            self.tracer.instant("nic.tx.dma_abort", category="fault",
-                                track=self.name, addr=desc.addr)
+            if self._trace is not None:
+                self._trace.instant("nic.tx.dma_abort", category="fault",
+                                    track=self.name, addr=desc.addr)
             self._complete_tx(desc, status=TX_STATUS_DMA_ABORT)
             self._kick_tx()
             return
@@ -154,29 +170,33 @@ class SimNIC(PCIeDevice):
         data = self.host.dma_read(desc.addr, desc.length, category="payload",
                                   local=desc.local)
         frame = Frame.unpack(data)
-        if self.flows.enabled:
+        flows = self._flows
+        if flows is not None:
             # The TX buffer address is the flow's bridge across pack()/DMA;
             # pop it (the buffer is freed after completion) and ride the
             # in-sim frame object from here to the wire.
-            flow = self.flows.pop(desc.addr)
+            flow = flows.pop(desc.addr)
             if flow is not None:
                 flow.stage("nic.tx.dma")
                 frame.meta["flow"] = flow
+        wire_size = frame.wire_size
         dma_s = self.config.dma_setup_ns * 1e-9 + self.host.link_transfer_delay(
-            frame.wire_size, direction="read", local=desc.local)
-        serialize_s = frame.wire_size / self.config.bytes_per_sec
-        done = self.sim.now + dma_s + serialize_s
+            wire_size, direction="read", local=desc.local)
+        serialize_s = wire_size / self.config.bytes_per_sec
+        sim = self.sim
+        done = sim.now + dma_s + serialize_s
         self._tx_busy_until = done
-        self.tracer.span("nic.tx", self.sim.now, dma_s + serialize_s,
-                         category="dma", track=self.name,
-                         bytes=frame.wire_size)
-        self.sim.at(done, self._tx_emit, frame, desc)
+        if self._trace is not None:
+            self._trace.span("nic.tx", sim.now, dma_s + serialize_s,
+                             category="dma", track=self.name,
+                             bytes=wire_size)
+        sim.call_at(done, self._tx_emit, frame, desc)
         self._kick_tx_at(done)
 
     def _kick_tx_at(self, when: float) -> None:
         if not self._tx_scheduled and not self.tx_ring.empty:
             self._tx_scheduled = True
-            self.sim.at(when, self._tx_process_one)
+            self.sim.call_at(when, self._tx_process_one)
 
     def _tx_emit(self, frame: Frame, desc: TxDescriptor) -> None:
         if self.link_up and self.port is not None:
@@ -243,18 +263,21 @@ class SimNIC(PCIeDevice):
                 self.flows.stash(desc.addr, flow)
         # DMA write into the RX buffer area (bypassing CPU caches), then
         # complete after the CXL link transfer.
+        wire_size = frame.wire_size
         self.host.dma_write(desc.addr, data, category="payload", local=desc.local,
-                            account_bytes=frame.wire_size)
+                            account_bytes=wire_size)
         self.rx_frames += 1
-        self.rx_bytes += frame.wire_size
-        done = self.sim.now + self.host.link_transfer_delay(
-            frame.wire_size, direction="write", local=desc.local)
-        self.tracer.span("nic.rx", self.sim.now, done - self.sim.now,
-                         category="dma", track=self.name,
-                         bytes=frame.wire_size)
+        self.rx_bytes += wire_size
+        sim = self.sim
+        done = sim.now + self.host.link_transfer_delay(
+            wire_size, direction="write", local=desc.local)
+        if self._trace is not None:
+            self._trace.span("nic.rx", sim.now, done - sim.now,
+                             category="dma", track=self.name,
+                             bytes=wire_size)
         completion = Completion(descriptor=desc, status=0, length=len(data),
                                 tag=tag, timestamp=done)
-        self.sim.at(done, self._deliver_rx, completion)
+        sim.call_at(done, self._deliver_rx, completion)
 
     def _deliver_rx(self, completion: Completion) -> None:
         if self.on_rx is not None:

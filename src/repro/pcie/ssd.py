@@ -39,6 +39,20 @@ class SimSSD(PCIeDevice):
 
     tracer = NULL_TRACER
     flows = NULL_FLOWS
+    # Precomputed dispatch: None while the facility is disabled; rebound by
+    # set_tracer()/set_flows() when the pod enables tracing / flow tracing.
+    _trace = None
+    _flows = None
+
+    def set_tracer(self, tracer) -> None:
+        """Bind a tracer; the command hot path keeps a None-or-tracer alias."""
+        self.tracer = tracer
+        self._trace = tracer if tracer.enabled else None
+
+    def set_flows(self, flows) -> None:
+        """Bind a flow registry; the hot path keeps a None-or-registry alias."""
+        self.flows = flows
+        self._flows = flows if flows.enabled else None
 
     def __init__(
         self,
@@ -82,7 +96,7 @@ class SimSSD(PCIeDevice):
             raise DeviceError(f"unknown NVMe opcode {cmd.opcode:#x}")
         self.sq.post(cmd)
         self._pending += 1
-        self.sim.schedule(0.0, self._process_one)
+        self.sim.call_after(0.0, self._process_one)
 
     def _process_one(self) -> None:
         if self.sq.empty:
@@ -94,30 +108,35 @@ class SimSSD(PCIeDevice):
         if cmd.nlb <= 0 or cmd.slba < 0 or cmd.slba + cmd.nlb > self.num_blocks:
             self._complete(cmd, NVME_STATUS_LBA_RANGE, 0.0)
             return
-        if self.flows.enabled:
-            flow = self.flows.peek(cmd.addr)
+        flows = self._flows
+        if flows is not None:
+            flow = flows.peek(cmd.addr)
             if flow is not None:
                 flow.stage("ssd.media", depth=len(self.sq))
-        nbytes = cmd.nlb * self.config.block_size
+        config = self.config
+        nbytes = cmd.nlb * config.block_size
         if cmd.opcode == NVME_OP_WRITE:
-            media_us = self.config.write_latency_us
+            media_us = config.write_latency_us
         else:
-            media_us = self.config.read_latency_us
-        transfer_s = nbytes / self.config.bytes_per_sec
+            media_us = config.read_latency_us
+        transfer_s = nbytes / config.bytes_per_sec
         # Transfers serialise on the drive's internal bandwidth; media latency
         # overlaps across queued commands.
-        start = max(self.sim.now, self._media_busy_until)
+        now = self.sim.now
+        busy = self._media_busy_until
+        start = busy if busy > now else now
         self._media_busy_until = start + transfer_s
         done = start + transfer_s + media_us * USEC
-        self.tracer.span(
-            "ssd.write" if cmd.opcode == NVME_OP_WRITE else "ssd.read",
-            start, done - start, category="dma", track=self.name,
-            bytes=nbytes, slba=cmd.slba)
+        if self._trace is not None:
+            self._trace.span(
+                "ssd.write" if cmd.opcode == NVME_OP_WRITE else "ssd.read",
+                start, done - start, category="dma", track=self.name,
+                bytes=nbytes, slba=cmd.slba)
         media_fault = False
         if self._media_error_next > 0:
             self._media_error_next -= 1
             media_fault = True
-        self.sim.at(done, self._execute, cmd, nbytes, media_fault)
+        self.sim.call_at(done, self._execute, cmd, nbytes, media_fault)
 
     def _execute(self, cmd: NVMeCommand, nbytes: int,
                  media_fault: bool = False) -> None:
@@ -129,8 +148,9 @@ class SimSSD(PCIeDevice):
             # no data moved (a correctable, retriable AER event).
             self.media_errors += 1
             self.aer.non_fatal += 1
-            self.tracer.instant("ssd.media_error", category="fault",
-                                track=self.name, slba=cmd.slba)
+            if self._trace is not None:
+                self._trace.instant("ssd.media_error", category="fault",
+                                    track=self.name, slba=cmd.slba)
             self._complete(cmd, NVME_STATUS_MEDIA, 0.0)
             return
         bs = self.config.block_size

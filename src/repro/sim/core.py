@@ -15,18 +15,54 @@ Busy-polling device drivers are modelled with O(#messages) events (wake on
 data arrival plus explicit per-operation CPU costs) rather than
 O(time / poll-interval) events, which keeps multi-second experiments tractable
 in Python.
+
+Scheduler layout
+----------------
+
+The event queue is split three ways, chosen at ``schedule`` time from the
+requested delay; the dispatch loop always fires the global ``(time, seq)``
+minimum across all three, so the split is invisible to callers:
+
+* a **now queue** (FIFO deque) for zero-delay events -- the dominant case:
+  process wakeups, doorbell rings and yield-the-floor reschedules.  Entries
+  fire at the current time in sequence order without touching a heap;
+* a **near-future heap** for sub-:data:`_NEAR_WINDOW` delays -- per-hop
+  channel latencies and per-operation CPU costs.  It stays small (only the
+  current window's events live there), so pushes and pops are cheap;
+* a **far heap** for everything else -- packet arrivals, device latencies,
+  periodic telemetry.
+
+Process wakeups are *slotted*: each :class:`Process` owns one reusable
+:class:`Event` for its (at most one) pending resume, so the steady-state
+event flow allocates no Event objects.  Fire-and-forget callbacks scheduled
+through :meth:`Simulator.call_after` / :meth:`Simulator.call_at` draw from a
+small free list and are recycled after firing; events returned by
+:meth:`Simulator.schedule` escape to callers (who may hold and cancel them
+later) and are never recycled.
+
+Cancellation tombstones the queue entry in O(1); the simulator separately
+tracks the **live** (non-tombstoned) event count so :attr:`Simulator.pending`
+does not over-count.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, Optional
+import math
+from collections import deque
+from typing import Any, Callable, Generator, Optional
 
 NSEC = 1e-9
 USEC = 1e-6
 MSEC = 1e-3
 SEC = 1.0
+
+# Delays below this go to the near-future heap; at or above it, the far heap.
+_NEAR_WINDOW = 4 * USEC
+
+# Upper bound on the fire-and-forget Event free list.
+_POOL_LIMIT = 256
 
 __all__ = [
     "NSEC",
@@ -48,21 +84,30 @@ class SimulationError(RuntimeError):
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
 
-    Events may be cancelled before they fire; cancellation is O(1) (the heap
-    entry is tombstoned, not removed).
+    Events may be cancelled before they fire; cancellation is O(1) (the queue
+    entry is tombstoned, not removed) and immediately drops the event from
+    the simulator's live-event count.
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "_sim", "_live", "_pooled",
+                 "_seqno")
 
-    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+    def __init__(self, sim: "Simulator", time: float, fn: Callable[..., Any], args: tuple):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
+        self._live = True      # counted in sim._live_events (pending, not fired)
+        self._pooled = False   # recycled onto sim._pool after firing
+        self._seqno = 0        # queue order; now-queue entries carry it inline
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call multiple times."""
         self.cancelled = True
+        if self._live:
+            self._live = False
+            self._sim._live_events -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -72,10 +117,16 @@ class Event:
 class Signal:
     """A one-shot or auto-reset wakeup primitive for coroutine processes.
 
-    Processes wait on a signal by ``yield``-ing it.  :meth:`set` wakes every
-    waiter with an optional value (delivered as the result of the ``yield``).
-    With ``auto_reset=True`` the signal re-arms after each :meth:`set`, which
-    makes it usable as a doorbell.
+    Processes wait on a signal by ``yield``-ing it.  A plain signal is
+    level-triggered: :meth:`set` wakes every waiter with an optional value
+    (delivered as the result of the ``yield``) and stays set for late
+    arrivals until :meth:`clear`.
+
+    With ``auto_reset=True`` the signal is a **doorbell**: each :meth:`set`
+    delivers exactly one wakeup.  With waiters present the oldest waiter
+    (FIFO) is woken; with none, one wakeup is latched for the next waiter.
+    Consuming the latch clears both the set flag and the latched value, so a
+    stale payload is never re-delivered.
     """
 
     __slots__ = ("sim", "auto_reset", "_set", "_value", "_waiters")
@@ -92,19 +143,26 @@ class Signal:
         return self._set
 
     def set(self, value: Any = None) -> None:
-        """Wake all waiters (immediately, at the current simulation time).
+        """Deliver a wakeup (immediately, at the current simulation time).
 
-        An auto-reset signal with no waiters latches one wakeup (doorbell
-        semantics): the next waiter proceeds immediately.
+        Level-triggered signals wake all waiters and latch; auto-reset
+        signals wake exactly one waiter, or latch one wakeup when nobody is
+        waiting (doorbell semantics).
         """
-        self._value = value
-        waiters, self._waiters = self._waiters, []
-        if not self.auto_reset:
+        waiters = self._waiters
+        if self.auto_reset:
+            if waiters:
+                waiters.pop(0)._wake(0.0, value)
+            else:
+                self._set = True
+                self._value = value
+        else:
             self._set = True
-        elif not waiters:
-            self._set = True
-        for proc in waiters:
-            self.sim.schedule(0.0, proc._resume, value)
+            self._value = value
+            if waiters:
+                self._waiters = []
+                for proc in waiters:
+                    proc._wake(0.0, value)
 
     def clear(self) -> None:
         self._set = False
@@ -137,9 +195,13 @@ class Process:
     * :class:`Process` -- block until that process terminates;
     * ``None`` -- yield the floor (resume at the same time, after other
       pending events).
+
+    A process has at most one pending resume at any moment, so all its
+    wakeups reuse a single slot :class:`Event` instead of allocating.
     """
 
-    __slots__ = ("sim", "name", "_gen", "_done", "_done_signal", "_waiting_on", "result")
+    __slots__ = ("sim", "name", "_gen", "_done", "_done_signal", "_waiting_on",
+                 "result", "_slot")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: str = "proc"):
         self.sim = sim
@@ -149,18 +211,27 @@ class Process:
         self._done_signal = Signal(sim)
         self._waiting_on: Optional[Signal] = None
         self.result: Any = None
+        slot = Event(sim, 0.0, self._resume, ())
+        slot._live = False
+        self._slot = slot
 
     @property
     def done(self) -> bool:
         return self._done
 
     def interrupt(self) -> None:
-        """Terminate the process at the current time without running it."""
+        """Terminate the process at the current time without running it.
+
+        A pending sleep timer is cancelled so the interrupted process leaves
+        nothing live behind in the event queue.
+        """
         if self._done:
             return
         if self._waiting_on is not None:
             self._waiting_on._unsubscribe(self)
             self._waiting_on = None
+        if self._slot._live:
+            self._slot.cancel()
         self._gen.close()
         self._finish(None)
 
@@ -168,6 +239,25 @@ class Process:
         self._done = True
         self.result = result
         self._done_signal.set(result)
+
+    def _wake(self, delay: float, value: Any) -> None:
+        """Schedule this process's resume through its reusable slot event."""
+        sim = self.sim
+        slot = self._slot
+        slot.args = (value,)
+        slot._live = True
+        sim._live_events += 1
+        seq = next(sim._seq)
+        if delay == 0.0:
+            slot.time = sim.now
+            slot._seqno = seq
+            sim._now_q.append(slot)
+        else:
+            slot.time = t = sim.now + delay
+            if delay < _NEAR_WINDOW:
+                heapq.heappush(sim._near, (t, seq, slot))
+            else:
+                heapq.heappush(sim._far, (t, seq, slot))
 
     def _resume(self, value: Any = None) -> None:
         if self._done:
@@ -182,22 +272,25 @@ class Process:
 
     def _handle_yield(self, yielded: Any) -> None:
         if yielded is None:
-            self.sim.schedule(0.0, self._resume, None)
+            self._wake(0.0, None)
         elif isinstance(yielded, (int, float)):
             if yielded < 0:
                 raise SimulationError(f"process {self.name} yielded negative delay {yielded}")
-            self.sim.schedule(float(yielded), self._resume, None)
+            self._wake(float(yielded), None)
         elif isinstance(yielded, Signal):
             if yielded._subscribe(self):
-                self.sim.schedule(0.0, self._resume, yielded._value)
+                value = yielded._value
+                if yielded.auto_reset:
+                    yielded._value = None
+                self._wake(0.0, value)
             else:
                 self._waiting_on = yielded
         elif isinstance(yielded, Process):
             if yielded._done:
-                self.sim.schedule(0.0, self._resume, yielded.result)
+                self._wake(0.0, yielded.result)
             else:
                 if yielded._done_signal._subscribe(self):
-                    self.sim.schedule(0.0, self._resume, yielded.result)
+                    self._wake(0.0, yielded.result)
                 else:
                     self._waiting_on = yielded._done_signal
         else:
@@ -211,13 +304,25 @@ class Process:
 
 
 class Simulator:
-    """The event loop: a time-ordered heap of :class:`Event` objects."""
+    """The event loop: a tiered, time-ordered queue of :class:`Event` objects.
+
+    See the module docstring for the scheduler layout.  The dispatch loop
+    always fires the global ``(time, seq)`` minimum across the now queue and
+    the two heaps, so callers observe a single totally-ordered event queue.
+    """
+
+    __slots__ = ("_now_q", "_near", "_far", "_seq", "_pool", "now",
+                 "_processed", "_live_events")
 
     def __init__(self):
-        self._heap: list[tuple[float, int, Event]] = []
+        self._now_q: deque[Event] = deque()
+        self._near: list[tuple[float, int, Event]] = []
+        self._far: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
+        self._pool: list[Event] = []
         self.now: float = 0.0
         self._processed = 0
+        self._live_events = 0
 
     # -- scheduling -------------------------------------------------------
 
@@ -225,18 +330,86 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay} s in the past")
-        event = Event(self.now + delay, fn, args)
-        heapq.heappush(self._heap, (event.time, next(self._seq), event))
+        event = Event(self, self.now + delay, fn, args)
+        self._live_events += 1
+        seq = next(self._seq)
+        if delay == 0.0:
+            event._seqno = seq
+            self._now_q.append(event)
+        elif delay < _NEAR_WINDOW:
+            heapq.heappush(self._near, (event.time, seq, event))
+        else:
+            heapq.heappush(self._far, (event.time, seq, event))
         return event
 
     def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
         return self.schedule(time - self.now, fn, *args)
 
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no Event is returned.
+
+        The backing Event is drawn from a free list and recycled after it
+        fires, so hot call sites that never cancel pay no allocation.  Use
+        :meth:`schedule` whenever the caller needs to cancel.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = t = self.now + delay
+            event.fn = fn
+            event.args = args
+            event._live = True
+        else:
+            event = Event(self, self.now + delay, fn, args)
+            event._pooled = True
+            t = event.time
+        self._live_events += 1
+        seq = next(self._seq)
+        if delay == 0.0:
+            event._seqno = seq
+            self._now_q.append(event)
+        elif delay < _NEAR_WINDOW:
+            heapq.heappush(self._near, (t, seq, event))
+        else:
+            heapq.heappush(self._far, (t, seq, event))
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`at`; see :meth:`call_after`.
+
+        Open-coded (not delegated) because device completion paths call it
+        once per DMA/IO hop.
+        """
+        delay = time - self.now
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.time = t = self.now + delay
+            event.fn = fn
+            event.args = args
+            event._live = True
+        else:
+            event = Event(self, self.now + delay, fn, args)
+            event._pooled = True
+            t = event.time
+        self._live_events += 1
+        seq = next(self._seq)
+        if delay == 0.0:
+            event._seqno = seq
+            self._now_q.append(event)
+        elif delay < _NEAR_WINDOW:
+            heapq.heappush(self._near, (t, seq, event))
+        else:
+            heapq.heappush(self._far, (t, seq, event))
+
     def spawn(self, gen: Generator, name: str = "proc") -> Process:
         """Start a coroutine process; it first runs at the current time."""
         proc = Process(self, gen, name=name)
-        self.schedule(0.0, proc._resume, None)
+        proc._wake(0.0, None)
         return proc
 
     def signal(self, auto_reset: bool = False) -> Signal:
@@ -247,54 +420,152 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the heap (including tombstones)."""
-        return len(self._heap)
+        """Number of live (non-cancelled, not-yet-fired) events."""
+        return self._live_events
 
     @property
     def processed_events(self) -> int:
         return self._processed
 
+    def _peek(self) -> Optional[tuple]:
+        """Return the queue holding the next event, or None when drained.
+
+        The result is ``(queue, time, seq)`` where ``queue`` is the now
+        queue or one of the heaps; tombstones are *not* skipped (matching
+        the dispatch loops, which discard them pop-by-pop).
+        """
+        near, far = self._near, self._far
+        head = None
+        src = None
+        if near:
+            head = near[0]
+            src = near
+            if far and far[0] < head:
+                head = far[0]
+                src = far
+        elif far:
+            head = far[0]
+            src = far
+        nq = self._now_q
+        if nq and (head is None or head[0] > self.now or head[1] > nq[0]._seqno):
+            return (nq, self.now, nq[0]._seqno)
+        if head is None:
+            return None
+        return (src, head[0], head[1])
+
     def step(self) -> bool:
-        """Run the next event.  Returns False when the heap is empty."""
-        while self._heap:
-            time, _, event = heapq.heappop(self._heap)
+        """Run the next event.  Returns False when the queue is empty."""
+        while True:
+            picked = self._peek()
+            if picked is None:
+                return False
+            src, time, _ = picked
+            if src is self._now_q:
+                event = src.popleft()
+            else:
+                _, _, event = heapq.heappop(src)
             if event.cancelled:
                 continue
             if time < self.now - 1e-15:
-                raise SimulationError("event heap went backwards")
-            self.now = max(self.now, time)
+                raise SimulationError("event queue went backwards")
+            if time > self.now:
+                self.now = time
+            self._live_events -= 1
             self._processed += 1
-            event.fn(*event.args)
+            event._live = False
+            fn, args = event.fn, event.args
+            if event._pooled:
+                event.fn = event.args = None
+                if len(self._pool) < _POOL_LIMIT:
+                    self._pool.append(event)
+            fn(*args)
             return True
-        return False
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Run events until the heap drains, ``until`` is reached, or
+        """Run events until the queue drains, ``until`` is reached, or
         ``max_events`` have fired.
 
         When ``until`` is given, the clock is advanced to exactly ``until``
-        even if the heap drains earlier, so back-to-back ``run`` calls behave
-        like wall-clock segments.
+        even if the queue drains earlier, so back-to-back ``run`` calls
+        behave like wall-clock segments.
         """
         fired = 0
-        while self._heap:
-            time, _, event = self._heap[0]
-            if until is not None and time > until:
-                break
-            if max_events is not None and fired >= max_events:
-                return
-            heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.now = max(self.now, time)
-            self._processed += 1
-            event.fn(*event.args)
-            fired += 1
+        nq = self._now_q
+        near = self._near
+        far = self._far
+        pool = self._pool
+        heappop = heapq.heappop
+        popleft = nq.popleft
+        pool_append = pool.append
+        # Bound sentinels: one float/int compare per event instead of an
+        # ``is not None`` test plus a compare.
+        until_v = math.inf if until is None else until
+        max_f = (1 << 62) if max_events is None else max_events
+        # The live/processed counters are flushed once on exit rather than
+        # updated per event; nothing reads them mid-run (verified: only the
+        # post-run report and tests do), and the per-event saving is real.
+        # ``self.now`` is mirrored in a local (callbacks only ever read it,
+        # and only run/step write it) and both are updated together.
+        now = self.now
+        try:
+            while True:
+                # Select the (time, seq) minimum across the three queues.  A
+                # heap entry can precede the now-queue head only when it is
+                # due at exactly the current time with an earlier sequence
+                # number.
+                if near:
+                    head = near[0]
+                    src = near
+                    if far:
+                        f = far[0]
+                        if f < head:
+                            head = f
+                            src = far
+                elif far:
+                    head = far[0]
+                    src = far
+                else:
+                    head = None
+                if nq and (head is None or head[0] > now or head[1] > nq[0]._seqno):
+                    # fast path: zero-delay event due at the current time
+                    if now > until_v:
+                        break
+                    if fired >= max_f:
+                        return
+                    event = popleft()
+                    if event.cancelled:
+                        continue
+                else:
+                    if head is None:
+                        break
+                    time = head[0]
+                    if time > until_v:
+                        break
+                    if fired >= max_f:
+                        return
+                    heappop(src)
+                    event = head[2]
+                    if event.cancelled:
+                        continue
+                    if time > now:
+                        self.now = now = time
+                event._live = False
+                fn = event.fn
+                args = event.args
+                if event._pooled:
+                    event.fn = event.args = None
+                    if len(pool) < _POOL_LIMIT:
+                        pool_append(event)
+                fn(*args)
+                fired += 1
+        finally:
+            self._processed += fired
+            self._live_events -= fired
         if until is not None and self.now < until:
             self.now = until
 
     def run_all(self, limit: int = 50_000_000) -> None:
-        """Run until the heap is empty (with a runaway-loop backstop)."""
+        """Run until the queue is empty (with a runaway-loop backstop)."""
         fired = 0
         while self.step():
             fired += 1
@@ -325,6 +596,11 @@ class PeriodicTask:
     the mean period to ``interval + jitter/2`` and drift the task
     unboundedly late -- a 100 ms telemetry task would silently sample
     slower than configured.
+
+    When ``jitter >= interval`` a firing can land past the next base tick.
+    Base ticks the firing overran are skipped (the task samples slower for
+    that window) rather than clamped to zero delay, which would fire
+    back-to-back bursts at the same timestamp.
     """
 
     __slots__ = ("sim", "interval", "fn", "args", "jitter", "rng",
@@ -353,7 +629,11 @@ class PeriodicTask:
             return
         self.fn(*self.args)
         if not self._cancelled:
-            self._next_base += self.interval
+            base = self._next_base + self.interval
+            now = self.sim.now
+            while base <= now:
+                base += self.interval
+            self._next_base = base
             self._event = self.sim.schedule(self._jittered_delay(), self._fire)
 
     def cancel(self) -> None:

@@ -139,7 +139,7 @@ class EchoClient:
         if self._stopped:
             return
         delay = 0.0 if first else self._interval()
-        self.sim.schedule(delay, self._send_one)
+        self.sim.call_after(delay, self._send_one)
 
     def _send_one(self) -> None:
         if self._stopped:

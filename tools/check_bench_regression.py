@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""CI gate: fail the PR when sim events/sec regresses >20% vs the baseline.
+
+Usage::
+
+    python tools/check_bench_regression.py BENCH_pr6.json \
+        [--baseline benchmarks/baseline_sim_speed.json] [--tolerance 0.2]
+
+Reads the ``sim_speed`` entry that ``benchmarks/test_sim_speed.py`` records
+into the benchmark dump and compares it against the committed baseline:
+
+* ``events`` must match **exactly** -- the event count on the canonical
+  seeded run is part of the replay contract and machine-independent; any
+  drift means the kernel's event schedule changed and the replay suite's
+  byte-identity claim needs re-verification before the baseline moves;
+* ``events_per_sec`` must stay above ``(1 - tolerance)`` of the baseline
+  floor (default tolerance 20%).  The floor is calibrated for the slowest
+  healthy CI runner (see the note inside the baseline file), so a trip
+  means a real slowdown, not machine jitter.
+
+Exit status: 0 on pass, 1 on regression, 2 on missing/malformed inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = (Path(__file__).resolve().parent.parent
+                    / "benchmarks" / "baseline_sim_speed.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", type=Path,
+                        help="benchmark dump (BENCH_pr6.json)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed fractional events/sec drop "
+                             "(default 0.2 == 20%%)")
+    args = parser.parse_args(argv)
+
+    try:
+        results = json.loads(args.results.read_text())
+        baseline = json.loads(args.baseline.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_bench_regression: cannot read inputs: {exc}",
+              file=sys.stderr)
+        return 2
+
+    speed = results.get("results", {}).get("sim_speed")
+    if speed is None:
+        print("check_bench_regression: no 'sim_speed' entry in "
+              f"{args.results} -- did benchmarks/test_sim_speed.py run?",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+
+    events = int(speed["events"])
+    expected_events = int(baseline["events"])
+    if events != expected_events:
+        failures.append(
+            f"event count changed: {events} != baseline {expected_events} "
+            "(the seeded event schedule moved; re-verify replay identity "
+            "before updating the baseline)")
+
+    events_per_sec = float(speed["events_per_sec"])
+    floor = float(baseline["events_per_sec"]) * (1.0 - args.tolerance)
+    if events_per_sec < floor:
+        failures.append(
+            f"events/sec regressed: {events_per_sec:,.0f} < "
+            f"{floor:,.0f} ({(1.0 - args.tolerance) * 100:.0f}% of the "
+            f"{float(baseline['events_per_sec']):,.0f} baseline floor)")
+
+    print(f"sim speed: {events_per_sec:,.0f} events/s over {events:,} "
+          f"events ({float(speed['wall_per_sim_sec']):.2f} wall-s per "
+          "sim-s)")
+    print(f"baseline:  {float(baseline['events_per_sec']):,.0f} events/s "
+          f"floor, tolerance {args.tolerance * 100:.0f}% -> gate at "
+          f"{floor:,.0f}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

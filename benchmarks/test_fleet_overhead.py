@@ -1,0 +1,76 @@
+"""Benchmark: fleet-health pipeline overhead.
+
+The pipeline is opt-in (``CXLPod.enable_fleet_telemetry``); a pod that never
+opts in must pay essentially nothing for its existence.  This measures the
+wall-clock cost of the disabled configuration -- fleet constructed and
+subscribed, scraper never started, exactly what a pod carries after the
+wiring landed -- against a pristine pod, and asserts the echo cell simulates
+at most 2% slower.  The *enabled* cost (scraper ticking at 10 ms plus gauge
+updates and alert evaluation) is recorded alongside for the dump but only
+sanity-bounded: observability that halves sim speed would be unusable.
+"""
+
+import time
+
+from repro.experiments.common import SERVER_IP, build_echo_pod
+from repro.workloads.echo import EchoClient
+
+
+def _echo_wallclock(fleet_mode: str, duration_s: float = 0.05,
+                    rate_pps: float = 20_000.0, reps: int = 5) -> dict:
+    """Best-of-``reps`` wall-clock for one oasis echo cell.
+
+    ``fleet_mode``: ``"off"`` = pristine pod; ``"disabled"`` = FleetHealth
+    built and subscribed to the scraper but the scraper never started (what
+    every pod carries by default after construction-time wiring);
+    ``"enabled"`` = ``enable_fleet_telemetry`` scraping every 10 ms.
+    """
+    best = float("inf")
+    completed = 0
+    for _ in range(reps):
+        pod, inst, client_ep, _ = build_echo_pod("oasis", remote=True)
+        if fleet_mode == "disabled":
+            from repro.obs.fleet import FleetHealth
+
+            fleet = FleetHealth(
+                nic_bytes_per_sec=pod.config.nic.bytes_per_sec,
+                ssd_bytes_per_sec=pod.config.ssd.bytes_per_sec,
+                link_bytes_per_sec=pod.config.cxl.link_bytes_per_sec)
+            pod.scraper.subscribe(fleet.ingest)
+        elif fleet_mode == "enabled":
+            pod.enable_fleet_telemetry(period_s=0.01)
+        client = EchoClient(pod.sim, client_ep, SERVER_IP,
+                            packet_size=75, rate_pps=rate_pps,
+                            metrics=pod.metrics)
+        client.start(duration_s)
+        t0 = time.perf_counter()
+        pod.run(duration_s + 0.02)
+        best = min(best, time.perf_counter() - t0)
+        pod.stop()
+        completed = int(pod.metrics.value("echo_rtt_us_count",
+                                          client=client.name))
+    return {"wall_s": best, "completed": completed}
+
+
+def test_fleet_disabled_overhead(record_result):
+    """A never-enabled fleet pipeline costs < 2% of echo sim throughput."""
+    control = _echo_wallclock("off")
+    disabled = _echo_wallclock("disabled")
+    enabled = _echo_wallclock("enabled")
+    assert disabled["completed"] == control["completed"]
+    assert enabled["completed"] == control["completed"]
+    control_tput = control["completed"] / control["wall_s"]
+    disabled_tput = disabled["completed"] / disabled["wall_s"]
+    enabled_tput = enabled["completed"] / enabled["wall_s"]
+    disabled_regression = 1.0 - disabled_tput / control_tput
+    enabled_regression = 1.0 - enabled_tput / control_tput
+    record_result("fleet_overhead", {
+        "control_echoes_per_wall_s": control_tput,
+        "fleet_disabled_echoes_per_wall_s": disabled_tput,
+        "fleet_enabled_echoes_per_wall_s": enabled_tput,
+        "disabled_regression": disabled_regression,
+        "enabled_regression": enabled_regression,
+    })
+    assert disabled_regression < 0.02
+    # Enabled observability must stay far from dominating the run.
+    assert enabled_regression < 0.5

@@ -12,7 +12,10 @@ Two observability subcommands ride along:
 * ``flows [out.json]`` -- run the UDP echo workload with end-to-end flow
   tracing and print the per-stage attribution table, critical path and
   slowest-request waterfall (optionally exporting a Perfetto flow-arrow
-  trace).
+  trace);
+* ``top [--once] [--json] [--hosts N]`` -- run a seeded echo workload with
+  the fleet-health pipeline enabled and render the live rack dashboard
+  (per-host/per-device utilization bars, pool stranding, firing alerts).
 """
 
 from __future__ import annotations
@@ -32,9 +35,10 @@ def main(argv=None) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(f"repro {__version__} -- Oasis (SOSP '25) reproduction")
         print("usage: python -m repro <experiment ...|all>")
-        print("       python -m repro report [--json]")
+        print("       python -m repro report [--json] [--sim-gauges]")
         print("       python -m repro trace [out.json]")
         print("       python -m repro flows [out.json]")
+        print("       python -m repro top [--once] [--json] [--hosts N]")
         print("       python -m repro chaos [--seed N] [--plan plan.json]\n")
         print("experiments:")
         for name, (title, _) in by_name.items():
@@ -43,13 +47,19 @@ def main(argv=None) -> int:
         print("  report   registry-backed metrics summary of an echo run")
         print("  trace    failover run exported as Chrome-trace JSON")
         print("  flows    per-request latency attribution (bottleneck profile)")
+        print("  top      live fleet-health dashboard (utilization/stranding/alerts)")
         print("  chaos    deterministic fault injection with invariant checks")
         return 0
     if argv[0] == "report":
         from .obs.cli import main_report
 
-        main_report(as_json="--json" in argv[1:])
+        main_report(as_json="--json" in argv[1:],
+                    sim_gauges="--sim-gauges" in argv[1:])
         return 0
+    if argv[0] == "top":
+        from .obs.cli import main_top
+
+        return main_top(argv[1:])
     if argv[0] == "trace":
         from .obs.cli import main_trace
 

@@ -153,6 +153,15 @@ class NetBackend(Driver):
     def registered_ips(self) -> set:
         return set(self._registry)
 
+    @property
+    def device_name(self) -> str:
+        return self.nic.name
+
+    @property
+    def queue_depth(self) -> int:
+        """Outstanding TX work: ring occupancy plus overflow backlog."""
+        return len(self.nic.tx_ring) + len(self._tx_pending)
+
     # -- RX ring management ---------------------------------------------------------------
 
     def _fill_rx_ring(self) -> None:
@@ -487,6 +496,7 @@ class NetBackend(Driver):
                 "rx_bw": rx_delta / interval,
                 "instances": len(self._registry),
                 "aer": self.nic.aer.total(),
+                "queue_depth": self.queue_depth,
                 "time": self.sim.now,
             },
         )

@@ -104,8 +104,12 @@ class CXLPod:
         # check until enable_flow_tracing() opts a run in.
         self.flows = FlowRegistry(self.sim, enabled=False)
         self.flows.tracer = self.tracer
+        # Fleet health pipeline (streaming utilization/stranding/alerts):
+        # built lazily by enable_fleet_telemetry(), None while off.
+        self.fleet = None
         self.allocator.tracer = self.tracer
         bindings.bind_pool(self.metrics, self.pool)
+        bindings.bind_scraper(self.metrics, self.scraper)
         bindings.bind_switch(self.metrics, self.switch)
         bindings.bind_allocator(self.metrics, self.allocator)
         bindings.bind_tracer(self.metrics, self.tracer)
@@ -497,6 +501,42 @@ class CXLPod:
     def start_telemetry(self, period_s: Optional[float] = None) -> TelemetryScraper:
         """Start sampling the metrics registry at ``period_s`` of sim time."""
         return self.scraper.start(period_s)
+
+    def enable_fleet_telemetry(self, period_s: float = 0.01, rules=None,
+                               slo=None):
+        """Turn on the streaming fleet-health pipeline (off by default).
+
+        Builds a :class:`~repro.obs.fleet.FleetHealth` sized from this
+        pod's configured device/link capacities, subscribes it to the
+        scraper (it consumes deltas, never retains raw snapshots), exports
+        its ``fleet_alert_*`` counters into the registry, and starts the
+        scraper at ``period_s``.  Returns the pipeline; query it through
+        ``pod.fleet.view()``.
+
+        ``rules`` overrides :data:`~repro.obs.fleet.DEFAULT_ALERT_RULES`;
+        ``slo`` is an optional :class:`~repro.obs.attribution.SLOChecker`
+        evaluated against live flow attribution (needs
+        ``enable_flow_tracing()``) for the burn-rate gauge.
+        """
+        from ..obs.fleet import FleetHealth
+
+        if self.fleet is not None:
+            return self.fleet
+        self.fleet = FleetHealth(
+            nic_bytes_per_sec=self.config.nic.bytes_per_sec,
+            ssd_bytes_per_sec=self.config.ssd.bytes_per_sec,
+            link_bytes_per_sec=self.config.cxl.link_bytes_per_sec,
+            nic_queue_depth=self.config.nic.tx_queue_depth,
+            ssd_queue_depth=self.config.ssd.queue_depth,
+            rules=rules,
+            tracer=self.tracer,
+            registry=self.metrics,
+            flows=self.flows,
+            slo=slo,
+        )
+        self.scraper.subscribe(self.fleet.ingest)
+        self.start_telemetry(period_s)
+        return self.fleet
 
     # -- running -----------------------------------------------------------------------------
 

@@ -74,6 +74,15 @@ class StorageBackend(Driver):
         self._links[name] = (tx, rx)
         rx.bind(self.work)
 
+    @property
+    def device_name(self) -> str:
+        return self.ssd.name
+
+    @property
+    def queue_depth(self) -> int:
+        """Outstanding I/O: submission-queue occupancy plus inflight cids."""
+        return max(len(self.ssd.sq), len(self._inflight))
+
     # -- SSD callback ----------------------------------------------------------
 
     def _on_ssd_completion(self, completion: Completion) -> None:
@@ -193,6 +202,7 @@ class StorageBackend(Driver):
             "rx_bw": read_delta / interval,
             "instances": len(self._links),
             "aer": self.ssd.aer.total(),
+            "queue_depth": self.queue_depth,
             "time": self.sim.now,
         })
 

@@ -14,9 +14,14 @@ import numpy as np
 
 from ..analysis.report import render_table
 from ..workloads.allocation import generate_allocation_trace
-from ..workloads.stranding import pooled_stranding, schedule_trace, stranded_fractions
+from ..workloads.stranding import (live_stranding, pooled_stranding,
+                                   schedule_trace, stranded_fractions)
 
 __all__ = ["run", "main"]
+
+#: Whole-device units used throughout (one 100 Gbit NIC, one 4 TB SSD).
+NIC_DEVICE_UNIT = 100.0
+SSD_DEVICE_UNIT = 4.0
 
 
 def run(
@@ -24,6 +29,7 @@ def run(
     n_hosts: int = 64,
     pod_sizes: Sequence[int] = (1, 2, 4, 8, 16),
     seed: int = 7,
+    crosscheck: bool = False,
 ) -> dict:
     rng = np.random.default_rng(seed)
     trace = generate_allocation_trace(
@@ -32,17 +38,37 @@ def run(
     )
     placed = schedule_trace(trace, n_hosts)
     baseline = stranded_fractions(trace, n_hosts)
-    nic = pooled_stranding(trace, n_hosts, pod_sizes, "nic_gbps", 100.0,
+    nic = pooled_stranding(trace, n_hosts, pod_sizes, "nic_gbps",
+                           NIC_DEVICE_UNIT,
                            rng=np.random.default_rng(seed + 1))
-    ssd = pooled_stranding(trace, n_hosts, pod_sizes, "ssd_tb", 4.0,
+    ssd = pooled_stranding(trace, n_hosts, pod_sizes, "ssd_tb",
+                           SSD_DEVICE_UNIT,
                            rng=np.random.default_rng(seed + 2))
-    return {
+    results = {
         "placed": placed,
         "total": n_instances,
         "baseline_stranded": baseline,
         "nic": nic,
         "ssd": ssd,
     }
+    if crosscheck:
+        # Live-vs-offline agreement on one pod spanning every host: the
+        # streaming StrandingGauge replayed over the same timeline must
+        # reproduce the offline integral (the fleet pipeline's contract).
+        results["crosscheck"] = {}
+        for resource, unit, key in (("nic_gbps", NIC_DEVICE_UNIT, "nic"),
+                                    ("ssd_tb", SSD_DEVICE_UNIT, "ssd")):
+            offline = pooled_stranding(
+                trace, n_hosts, (n_hosts,), resource, unit,
+                rng=np.random.default_rng(seed + 3), repeats=1)[0]
+            live = live_stranding(trace, n_hosts, resource, unit)
+            results["crosscheck"][key] = {
+                "offline_devices": offline.devices_needed,
+                "offline_stranded": offline.stranded_fraction,
+                "live_devices": live["devices_needed"],
+                "live_stranded": live["stranded_fraction"],
+            }
+    return results
 
 
 def main() -> dict:

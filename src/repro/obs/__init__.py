@@ -15,6 +15,11 @@
 * :mod:`repro.obs.bindings` -- collectors that expose the pre-existing
   ad-hoc counter classes (``LinkStats``, ``CacheStats``, ...) through the
   registry without mutating them.
+* :mod:`repro.obs.fleet` -- the streaming fleet-health pipeline on top of
+  the scraper: bounded per-entity gauges (EWMA + p50/p99 sketches), live
+  pool-stranding gauges matching the Figure 2 offline definition, a
+  declarative :class:`AlertEngine`, and the :class:`HealthView` query API
+  behind ``python -m repro top``.
 """
 
 from .attribution import (
@@ -23,6 +28,16 @@ from .attribution import (
     SLOViolation,
     critical_path,
     render_waterfall,
+)
+from .fleet import (
+    DEFAULT_ALERT_RULES,
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
+    FleetHealth,
+    HealthSeries,
+    HealthView,
+    StrandingGauge,
 )
 from .flow import NULL_FLOWS, FlowContext, FlowRecord, FlowRegistry, FlowSegment
 from .metrics import (
@@ -60,5 +75,13 @@ __all__ = [
     "SLOViolation",
     "critical_path",
     "render_waterfall",
+    "FleetHealth",
+    "HealthView",
+    "HealthSeries",
+    "StrandingGauge",
+    "AlertEngine",
+    "AlertRule",
+    "AlertEvent",
+    "DEFAULT_ALERT_RULES",
     "bindings",
 ]

@@ -37,6 +37,7 @@ from .metrics import MetricsRegistry, Sample, labels_key
 
 __all__ = [
     "bind_sim",
+    "bind_scraper",
     "bind_pool",
     "bind_cache",
     "bind_channel_endpoint",
@@ -87,6 +88,22 @@ def bind_sim(registry: MetricsRegistry, sim) -> None:
         yield _sample("sim_processed_events", sim.processed_events)
         yield _sample("sim_pending_events", sim.pending)
         yield _sample("sim_now_seconds", sim.now)
+
+    registry.register_collector(collect)
+
+
+def bind_scraper(registry: MetricsRegistry, scraper) -> None:
+    """Export the scraper's own buffering health.
+
+    ``scraper_dropped`` counts snapshots evicted off the back of the ring
+    (sampling itself never stops); ``report`` surfaces it so a window that
+    silently rolled over is visible in the artifact built from it.
+    """
+
+    def collect():
+        yield _sample("scraper_samples_taken", scraper.samples_taken)
+        yield _sample("scraper_buffered", len(scraper))
+        yield _sample("scraper_dropped", scraper.dropped)
 
     registry.register_collector(collect)
 
@@ -242,6 +259,13 @@ def bind_driver(registry: MetricsRegistry, driver) -> None:
             value = getattr(driver, op, None)
             if value is not None:
                 yield _sample("driver_ops", value, driver=name, op=op)
+        depth = getattr(driver, "queue_depth", None)
+        if depth is not None:
+            # Backends expose live device-queue occupancy (NIC TX ring +
+            # overflow backlog, SSD submission queue); fleet health turns
+            # this into queue saturation vs the configured depth.
+            yield _sample("device_queue_depth", depth,
+                          device=driver.device_name)
 
     registry.register_collector(collect)
 
@@ -269,11 +293,18 @@ def bind_allocator(registry: MetricsRegistry, allocator) -> None:
         for device in allocator.devices.values():
             yield _sample("allocator_device_allocated", device.allocated,
                           device=device.name, kind="nic")
+            yield _sample("allocator_device_capacity", device.capacity,
+                          device=device.name, kind="nic")
             yield _sample("allocator_device_failed",
                           1.0 if device.failed else 0.0,
                           device=device.name, kind="nic")
         for device in allocator.storage_devices.values():
             yield _sample("allocator_device_allocated", device.allocated,
+                          device=device.name, kind="ssd")
+            yield _sample("allocator_device_capacity", device.capacity,
+                          device=device.name, kind="ssd")
+            yield _sample("allocator_device_failed",
+                          1.0 if device.failed else 0.0,
                           device=device.name, kind="ssd")
 
     registry.register_collector(collect)

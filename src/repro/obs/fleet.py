@@ -1,0 +1,737 @@
+"""Fleet health telemetry: streaming utilization/saturation/stranding state.
+
+The scraper/registry firehose answers "what happened since the run
+started"; this module answers "which device, link, or host is hot *right
+now*, and how stranded is each pool?" -- the live signals the load-aware
+placement policy (ROADMAP item 5) consumes and the ``python -m repro top``
+dashboard renders.  Everything is bounded-memory and fed exclusively from
+:class:`~repro.obs.scraper.TelemetryScraper` deltas: the pipeline keeps one
+previous snapshot and fixed-size streaming state per entity, never a raw
+snapshot history of its own.
+
+Pieces:
+
+* :class:`Ewma` -- exponentially weighted moving average over the
+  irregular (but near-periodic) scrape timeline;
+* :class:`P2Quantile` -- the Jain & Chlamtac P-square streaming quantile
+  estimator: five markers, O(1) memory, deterministic;
+* :class:`HealthSeries` -- one entity's gauge: last value, peak, EWMA and
+  streaming p50/p99 sketches;
+* :class:`StrandingGauge` -- duration-weighted live stranding
+  (``1 - time_avg(used) / provisioned``), the *same* definition
+  :func:`repro.workloads.stranding.stranded_fractions` computes offline,
+  so the live gauge and the Figure 2 pipeline cross-check exactly;
+* :class:`AlertEngine` -- declarative threshold / hysteresis /
+  for-duration rules evaluated once per scrape tick, emitting sim-time
+  alert instants into the :class:`~repro.obs.trace.Tracer` and
+  ``fleet_alert_*`` counters into the registry;
+* :class:`FleetHealth` -- the pipeline tying it together, subscribed to
+  the scraper; :class:`HealthView` -- the stable query API
+  (``hot_devices()`` / ``stranding(pool)`` / ``saturation(link)`` /
+  ``alerts()``) that placement policies consume.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Ewma",
+    "P2Quantile",
+    "HealthSeries",
+    "StrandingGauge",
+    "AlertRule",
+    "AlertEvent",
+    "AlertEngine",
+    "FleetHealth",
+    "HealthView",
+    "DEFAULT_ALERT_RULES",
+]
+
+
+class Ewma:
+    """EWMA over irregularly spaced samples: ``alpha = 1 - exp(-dt/tau)``.
+
+    With samples arriving every ``dt`` the smoothing horizon is ``tau``
+    seconds of sim time regardless of the scrape period, which is what
+    makes thresholds like "hot for 100 ms" scrape-rate independent.
+    """
+
+    __slots__ = ("tau_s", "value", "_last_t")
+
+    def __init__(self, tau_s: float = 0.05):
+        self.tau_s = tau_s
+        self.value: Optional[float] = None
+        self._last_t: Optional[float] = None
+
+    def update(self, t: float, x: float) -> float:
+        if self.value is None or self._last_t is None:
+            self.value = float(x)
+        else:
+            dt = max(t - self._last_t, 0.0)
+            alpha = 1.0 - math.exp(-dt / self.tau_s) if self.tau_s > 0 else 1.0
+            self.value += alpha * (x - self.value)
+        self._last_t = t
+        return self.value
+
+
+class P2Quantile:
+    """Streaming quantile estimation with five markers (P-square algorithm).
+
+    Deterministic and O(1) memory: the estimator never stores observations,
+    so a :class:`HealthSeries` stays fixed-size no matter how long the run.
+    Until five observations arrive the exact small-sample percentile is
+    returned from the buffered values.
+    """
+
+    __slots__ = ("q", "count", "_heights", "_pos", "_desired", "_inc")
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self.count = 0
+        self._heights: List[float] = []
+        self._pos = [1, 2, 3, 4, 5]
+        self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+        self._inc = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def observe(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        if self.count <= 5:
+            self._heights.append(x)
+            if self.count == 5:
+                self._heights.sort()
+            return
+        h, pos = self._heights, self._pos
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            for i in range(1, 4):
+                if x < h[i]:
+                    break
+                k = i
+        for i in range(k + 1, 5):
+            pos[i] += 1
+        for i in range(5):
+            self._desired[i] += self._inc[i]
+        for i in range(1, 4):
+            d = self._desired[i] - pos[i]
+            if ((d >= 1.0 and pos[i + 1] - pos[i] > 1)
+                    or (d <= -1.0 and pos[i - 1] - pos[i] < -1)):
+                step = 1 if d >= 1.0 else -1
+                candidate = self._parabolic(i, step)
+                if not h[i - 1] < candidate < h[i + 1]:
+                    candidate = self._linear(i, step)
+                h[i] = candidate
+                pos[i] += step
+
+    def _parabolic(self, i: int, step: int) -> float:
+        h, n = self._heights, self._pos
+        return h[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step) * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: int) -> float:
+        h, n = self._heights, self._pos
+        return h[i] + step * (h[i + step] - h[i]) / (n[i + step] - n[i])
+
+    @property
+    def value(self) -> float:
+        if self.count == 0:
+            return float("nan")
+        if self.count < 5:
+            ordered = sorted(self._heights)
+            rank = self.q * (len(ordered) - 1)
+            lo = int(rank)
+            hi = min(lo + 1, len(ordered) - 1)
+            return ordered[lo] + (rank - lo) * (ordered[hi] - ordered[lo])
+        return self._heights[2]
+
+
+class HealthSeries:
+    """One entity's streaming gauge: rate/level, peak, EWMA, p50/p99.
+
+    Fixed memory: a handful of scalars plus two five-marker sketches.
+    ``observe`` records a level (a utilization fraction, a saturation);
+    ``observe_counter`` differences a cumulative counter into a per-second
+    rate first, the way the scraper's ``rates()`` does, then records it.
+    """
+
+    __slots__ = ("family", "entity", "last", "last_t", "peak", "count",
+                 "ewma", "_p50", "_p99", "_last_counter", "_last_counter_t")
+
+    def __init__(self, family: str, entity: str, ewma_tau_s: float = 0.05):
+        self.family = family
+        self.entity = entity
+        self.last = 0.0
+        self.last_t: Optional[float] = None
+        self.peak = 0.0
+        self.count = 0
+        self.ewma = Ewma(ewma_tau_s)
+        self._p50 = P2Quantile(0.50)
+        self._p99 = P2Quantile(0.99)
+        self._last_counter: Optional[float] = None
+        self._last_counter_t: Optional[float] = None
+
+    def observe(self, t: float, value: float) -> None:
+        value = float(value)
+        self.last = value
+        self.last_t = t
+        self.count += 1
+        if value > self.peak:
+            self.peak = value
+        self.ewma.update(t, value)
+        self._p50.observe(value)
+        self._p99.observe(value)
+
+    def observe_counter(self, t: float, cumulative: float) -> None:
+        if self._last_counter is not None and t > self._last_counter_t:
+            rate = ((cumulative - self._last_counter)
+                    / (t - self._last_counter_t))
+            self.observe(t, rate)
+        self._last_counter = float(cumulative)
+        self._last_counter_t = t
+
+    @property
+    def p50(self) -> float:
+        return self._p50.value
+
+    @property
+    def p99(self) -> float:
+        return self._p99.value
+
+    def as_dict(self) -> dict:
+        return {
+            "last": self.last,
+            "ewma": self.ewma.value if self.ewma.value is not None else 0.0,
+            "p50": self.p50 if self.count else 0.0,
+            "p99": self.p99 if self.count else 0.0,
+            "peak": self.peak,
+            "samples": self.count,
+        }
+
+
+class StrandingGauge:
+    """Live stranding: ``1 - time_avg(used) / provisioned`` while loaded.
+
+    The duration-weighted integral mirrors
+    :meth:`repro.workloads.stranding.UsageTimeline.time_average` exactly:
+    each ``update(t, used, provisioned, loaded)`` closes the interval that
+    started at the previous update (whose ``used``/``loaded`` apply to it)
+    and opens a new one.  Fed the same usage timeline and loaded mask as
+    the offline Figure 2 pipeline, the gauge reproduces its stranded
+    fraction and (via :meth:`devices_needed`) its device count.
+    """
+
+    __slots__ = ("_last_t", "_last_used", "_last_provisioned", "_last_loaded",
+                 "weighted_used", "weighted_provisioned", "loaded_s",
+                 "peak_used", "peak_any", "updates")
+
+    def __init__(self):
+        self._last_t: Optional[float] = None
+        self._last_used = 0.0
+        self._last_provisioned = 0.0
+        self._last_loaded = True
+        self.weighted_used = 0.0
+        self.weighted_provisioned = 0.0
+        self.loaded_s = 0.0
+        self.peak_used = 0.0          # peak while loaded
+        self.peak_any = 0.0           # peak regardless of load mask
+        self.updates = 0
+
+    def update(self, t: float, used: float, provisioned: float,
+               loaded: bool = True) -> None:
+        if self._last_t is not None and t > self._last_t and self._last_loaded:
+            dt = t - self._last_t
+            self.weighted_used += self._last_used * dt
+            self.weighted_provisioned += self._last_provisioned * dt
+            self.loaded_s += dt
+        self._last_t = t
+        self._last_used = float(used)
+        self._last_provisioned = float(provisioned)
+        self._last_loaded = bool(loaded)
+        self.updates += 1
+        if used > self.peak_any:
+            self.peak_any = float(used)
+        if loaded and used > self.peak_used:
+            self.peak_used = float(used)
+
+    @property
+    def stranded_fraction(self) -> float:
+        if self.weighted_provisioned > 0:
+            return 1.0 - self.weighted_used / self.weighted_provisioned
+        if self._last_provisioned > 0:
+            return 1.0 - self._last_used / self._last_provisioned
+        return 0.0
+
+    @property
+    def stranded_now(self) -> float:
+        if self._last_provisioned > 0:
+            return 1.0 - self._last_used / self._last_provisioned
+        return 0.0
+
+    def devices_needed(self, device_unit: float) -> int:
+        """Minimum whole devices covering the loaded peak (>=1), as Fig 2."""
+        peak = self.peak_used if self.loaded_s > 0 else self.peak_any
+        return max(1, int(math.ceil(peak / device_unit - 1e-9)))
+
+
+# -- alerting -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative alert: threshold + hysteresis + for-duration.
+
+    The rule watches every entity of one gauge ``family``.  An entity whose
+    value holds at or above ``threshold`` for ``for_s`` seconds of sim time
+    fires; it clears only when the value drops below ``clear_below``
+    (default: the threshold itself), so values hovering at the threshold
+    cannot flap the alert.
+    """
+
+    name: str
+    family: str
+    threshold: float
+    for_s: float = 0.0
+    clear_below: Optional[float] = None
+    help: str = ""
+
+    @property
+    def clear_threshold(self) -> float:
+        return self.threshold if self.clear_below is None else self.clear_below
+
+
+#: The default ruleset: a device hot >80 % for 100 ms, a CXL link near
+#: line rate, a device queue backing up, a lease-expiry storm (sweeps are
+#: rare in a healthy pod), and sustained SLO burn.
+DEFAULT_ALERT_RULES: Tuple[AlertRule, ...] = (
+    AlertRule("hot_device", "device_util", 0.80, for_s=0.100,
+              clear_below=0.70,
+              help="device moved >80% of its line rate for 100 ms"),
+    AlertRule("link_saturated", "link_saturation", 0.90, for_s=0.100,
+              clear_below=0.75,
+              help="host CXL link >90% of capacity for 100 ms"),
+    AlertRule("queue_saturated", "queue_saturation", 0.90, for_s=0.100,
+              clear_below=0.50,
+              help="device descriptor queue >90% full for 100 ms"),
+    AlertRule("lease_expiry_storm", "lease_expiry_rate", 10.0, for_s=0.200,
+              clear_below=1.0,
+              help=">10 lease expirations/s for 200 ms"),
+    AlertRule("slo_burn", "slo_burn", 0.5, for_s=0.200, clear_below=0.25,
+              help="SLO violated on >50% of recent scrape ticks"),
+)
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One alert transition (fire or clear) at a sim-time instant."""
+
+    t: float
+    rule: str
+    entity: str
+    kind: str                 # "fire" | "clear"
+    value: float
+    since: float              # when the breach (pending) began
+
+    def as_json(self) -> list:
+        return [round(self.t, 9), self.rule, self.entity, self.kind,
+                round(self.value, 9)]
+
+
+class AlertEngine:
+    """Evaluates :class:`AlertRule` s once per scrape tick.
+
+    Per (rule, entity) state machine::
+
+        ok --value>=threshold--> pending --held for_s--> firing
+        pending --value<threshold--> ok            (no event: gated)
+        firing --value<clear_below--> ok           (clear event)
+        firing --clear_below<=value--> firing      (hysteresis: no flap)
+
+    Transitions emit :class:`AlertEvent` s into a bounded log, sim-time
+    instants into the tracer (category ``alert``) and ``fleet_alert_*``
+    registry counters.
+    """
+
+    def __init__(self, rules: Sequence[AlertRule] = DEFAULT_ALERT_RULES,
+                 tracer=None, registry=None, max_events: int = 10_000):
+        self.rules = tuple(rules)
+        self.tracer = tracer
+        self.registry = registry
+        self.log: deque = deque(maxlen=max_events)
+        self.dropped = 0
+        self.fired = 0
+        self.cleared = 0
+        #: (rule, entity) -> {"state": "pending"|"firing", "since": t,
+        #:                    "value": last}
+        self._state: Dict[Tuple[str, str], dict] = {}
+
+    @property
+    def active(self) -> Dict[Tuple[str, str], dict]:
+        """Currently firing alerts: (rule, entity) -> state dict."""
+        return {key: st for key, st in self._state.items()
+                if st["state"] == "firing"}
+
+    def _emit(self, event: AlertEvent) -> None:
+        if len(self.log) == self.log.maxlen:
+            self.dropped += 1
+        self.log.append(event)
+        if event.kind == "fire":
+            self.fired += 1
+        else:
+            self.cleared += 1
+        if self.registry is not None:
+            counter = ("fleet_alert_fired" if event.kind == "fire"
+                       else "fleet_alert_cleared")
+            self.registry.counter(counter, rule=event.rule).inc()
+        if self.tracer is not None:
+            self.tracer.instant(f"alert.{event.kind}:{event.rule}",
+                                category="alert", track="alerts",
+                                entity=event.entity,
+                                value=round(event.value, 6))
+
+    def evaluate(self, t: float, values: Dict[Tuple[str, str], float]) -> None:
+        """One tick: ``values`` maps (family, entity) -> current level."""
+        by_family: Dict[str, List[Tuple[str, float]]] = {}
+        for (family, entity), value in values.items():
+            by_family.setdefault(family, []).append((entity, value))
+        for rule in self.rules:
+            for entity, value in sorted(by_family.get(rule.family, ())):
+                key = (rule.name, entity)
+                state = self._state.get(key)
+                if value >= rule.threshold:
+                    if state is None:
+                        state = {"state": "pending", "since": t, "value": value}
+                        self._state[key] = state
+                    state["value"] = value
+                    if (state["state"] == "pending"
+                            and t - state["since"] >= rule.for_s):
+                        state["state"] = "firing"
+                        self._emit(AlertEvent(t, rule.name, entity, "fire",
+                                              value, state["since"]))
+                elif state is not None:
+                    state["value"] = value
+                    if state["state"] == "pending":
+                        # Spike shorter than for_s: gated, never fired.
+                        del self._state[key]
+                    elif value < rule.clear_threshold:
+                        self._emit(AlertEvent(t, rule.name, entity, "clear",
+                                              value, state["since"]))
+                        del self._state[key]
+                    # clear_threshold <= value < threshold: keep firing.
+
+    def log_json(self) -> List[list]:
+        """The deterministic alert sequence (replay-identity contract)."""
+        return [event.as_json() for event in self.log]
+
+
+# -- the pipeline -------------------------------------------------------------
+
+
+class FleetHealth:
+    """Streaming fleet state fed from scraper deltas.
+
+    Subscribe via ``scraper.subscribe(fleet.ingest)`` (what
+    :meth:`repro.core.pod.CXLPod.enable_fleet_telemetry` does); each scrape
+    tick differences the new snapshot against the previous one, updates the
+    per-entity :class:`HealthSeries` gauges and per-pool
+    :class:`StrandingGauge` s, and runs the :class:`AlertEngine`.  Memory
+    is bounded by the entity count, never the run length.
+    """
+
+    def __init__(
+        self,
+        nic_bytes_per_sec: float,
+        ssd_bytes_per_sec: float,
+        link_bytes_per_sec: float,
+        nic_queue_depth: int = 1024,
+        ssd_queue_depth: int = 64,
+        rules: Optional[Sequence[AlertRule]] = None,
+        tracer=None,
+        registry=None,
+        flows=None,
+        slo=None,
+        ewma_tau_s: float = 0.05,
+        slo_tau_s: float = 0.05,
+    ):
+        self.nic_bytes_per_sec = nic_bytes_per_sec
+        self.ssd_bytes_per_sec = ssd_bytes_per_sec
+        self.link_bytes_per_sec = link_bytes_per_sec
+        self.queue_depths = {"nic": nic_queue_depth, "ssd": ssd_queue_depth}
+        self.flows = flows
+        self.slo = slo
+        self.ewma_tau_s = ewma_tau_s
+        self.gauges: Dict[Tuple[str, str], HealthSeries] = {}
+        self.stranding_gauges: Dict[str, StrandingGauge] = {}
+        self.pools: Dict[str, dict] = {}
+        self.device_host: Dict[str, str] = {}
+        self.device_kind: Dict[str, str] = {}
+        self.alerts = AlertEngine(
+            rules if rules is not None else DEFAULT_ALERT_RULES,
+            tracer=tracer, registry=registry)
+        self._slo_ewma = Ewma(slo_tau_s)
+        self._prev = None
+        self.ticks = 0
+        self.time = 0.0
+
+    # -- gauge plumbing ----------------------------------------------------
+
+    def gauge(self, family: str, entity: str) -> HealthSeries:
+        key = (family, entity)
+        series = self.gauges.get(key)
+        if series is None:
+            series = self.gauges[key] = HealthSeries(
+                family, entity, ewma_tau_s=self.ewma_tau_s)
+        return series
+
+    def _observe(self, family: str, entity: str, t: float,
+                 value: float) -> None:
+        self.gauge(family, entity).observe(t, value)
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, snapshot) -> None:
+        """Consume one scraped snapshot (called by the scraper per tick)."""
+        t = snapshot.time
+        prev, self._prev = self._prev, snapshot
+        self.ticks += 1
+        self.time = t
+        if prev is None or t <= prev.time:
+            return
+        dt = t - prev.time
+        delta = snapshot.delta_since(prev)
+        self._ingest_devices(t, dt, delta)
+        self._ingest_links(t, dt, delta)
+        self._ingest_queues(t, snapshot)
+        self._ingest_pools(t, snapshot)
+        self._ingest_control(t, dt, delta)
+        self._ingest_slo(t)
+        self.alerts.evaluate(t, {key: series.last
+                                 for key, series in self.gauges.items()})
+
+    def _ingest_devices(self, t: float, dt: float, delta) -> None:
+        host_util: Dict[str, float] = {}
+        nic = delta.aggregate("nic_bytes", by=("device", "host", "direction"))
+        per_device: Dict[Tuple[str, str], Dict[str, float]] = {}
+        for (device, host, direction), nbytes in nic.items():
+            per_device.setdefault((device, host), {})[direction] = nbytes
+        for (device, host), dirs in sorted(per_device.items()):
+            self.device_host[device] = host
+            self.device_kind[device] = "nic"
+            # Full-duplex link: the busier direction sets the utilization.
+            util = max(dirs.get("tx", 0.0), dirs.get("rx", 0.0)) / (
+                self.nic_bytes_per_sec * dt)
+            self._observe("device_util", device, t, util)
+            host_util[host] = max(host_util.get(host, 0.0), util)
+        ssd = delta.aggregate("ssd_bytes", by=("device", "host", "op"))
+        per_ssd: Dict[Tuple[str, str], float] = {}
+        for (device, host, _op), nbytes in ssd.items():
+            per_ssd[(device, host)] = per_ssd.get((device, host), 0.0) + nbytes
+        for (device, host), nbytes in sorted(per_ssd.items()):
+            self.device_host[device] = host
+            self.device_kind[device] = "ssd"
+            util = nbytes / (self.ssd_bytes_per_sec * dt)
+            self._observe("device_util", device, t, util)
+            host_util[host] = max(host_util.get(host, 0.0), util)
+        for host, util in sorted(host_util.items()):
+            self._observe("host_util", host, t, util)
+
+    def _ingest_links(self, t: float, dt: float, delta) -> None:
+        links = delta.aggregate("cxl_link_bytes", by=("host", "direction"))
+        per_host: Dict[str, Dict[str, float]] = {}
+        for (host, direction), nbytes in links.items():
+            per_host.setdefault(host, {})[direction] = nbytes
+        for host, dirs in sorted(per_host.items()):
+            saturation = max(dirs.get("read", 0.0), dirs.get("write", 0.0)) / (
+                self.link_bytes_per_sec * dt)
+            self._observe("link_saturation", host, t, saturation)
+
+    def _ingest_queues(self, t: float, snapshot) -> None:
+        depths = snapshot.aggregate("device_queue_depth", by=("device",))
+        for (device,), depth in sorted(depths.items()):
+            capacity = self.queue_depths.get(
+                self.device_kind.get(device, "nic"), 1024)
+            self._observe("queue_saturation", device, t,
+                          depth / capacity if capacity else 0.0)
+
+    def _ingest_pools(self, t: float, snapshot) -> None:
+        allocated = snapshot.aggregate("allocator_device_allocated",
+                                       by=("device", "kind"))
+        capacity = snapshot.aggregate("allocator_device_capacity",
+                                      by=("device", "kind"))
+        failed = snapshot.aggregate("allocator_device_failed",
+                                    by=("device", "kind"))
+        pools: Dict[str, dict] = {}
+        for (device, kind), cap in capacity.items():
+            pool = pools.setdefault(kind, {"allocated": 0.0,
+                                           "provisioned": 0.0,
+                                           "devices": 0, "failed": 0})
+            if failed.get((device, kind), 0.0):
+                pool["failed"] += 1
+                continue           # failed devices are not provisioned
+            pool["devices"] += 1
+            pool["provisioned"] += cap
+            pool["allocated"] += allocated.get((device, kind), 0.0)
+        for kind, pool in sorted(pools.items()):
+            gauge = self.stranding_gauges.get(kind)
+            if gauge is None:
+                gauge = self.stranding_gauges[kind] = StrandingGauge()
+            gauge.update(t, pool["allocated"], pool["provisioned"])
+            self._observe("pool_stranding", kind, t, gauge.stranded_now)
+        self.pools = pools
+
+    def _ingest_control(self, t: float, dt: float, delta) -> None:
+        expiries = delta.aggregate("allocator_events", by=("event",)).get(
+            ("lease_expiry",), 0.0)
+        self._observe("lease_expiry_rate", "pod", t, expiries / dt)
+
+    def _ingest_slo(self, t: float) -> None:
+        if self.slo is None or self.flows is None:
+            return
+        attribution = getattr(self.flows, "attribution", None)
+        if attribution is None or not self.slo.configured:
+            return
+        violated = 1.0 if self.slo.check(attribution) else 0.0
+        self._observe("slo_burn", "pod", t, self._slo_ewma.update(t, violated))
+
+    # -- querying ----------------------------------------------------------
+
+    def view(self) -> "HealthView":
+        return HealthView(self)
+
+
+class HealthView:
+    """The stable query API over a :class:`FleetHealth` pipeline.
+
+    ROADMAP item 5's placement/migration policy should consume *this* --
+    not the pipeline internals -- so the pipeline can evolve without
+    breaking policies.
+    """
+
+    def __init__(self, fleet: FleetHealth):
+        self.fleet = fleet
+
+    # -- devices -----------------------------------------------------------
+
+    def utilization(self, device: Optional[str] = None):
+        """Latest utilization per device (or one device's level)."""
+        table = {entity: series.last
+                 for (family, entity), series in self.fleet.gauges.items()
+                 if family == "device_util"}
+        return table if device is None else table.get(device, 0.0)
+
+    def hot_devices(self, threshold: float = 0.8,
+                    smoothed: bool = False) -> List[Tuple[str, float]]:
+        """Devices at/above ``threshold``, hottest first.
+
+        ``smoothed=True`` ranks by the EWMA instead of the raw last sample
+        (what a proactive migration policy should key on).
+        """
+        out = []
+        for (family, entity), series in self.fleet.gauges.items():
+            if family != "device_util":
+                continue
+            value = (series.ewma.value or 0.0) if smoothed else series.last
+            if value >= threshold:
+                out.append((entity, value))
+        out.sort(key=lambda kv: (-kv[1], kv[0]))
+        return out
+
+    # -- pools and links ---------------------------------------------------
+
+    def stranding(self, pool: str = "nic") -> float:
+        """Time-averaged stranded fraction of one pool (Fig 2 definition)."""
+        gauge = self.fleet.stranding_gauges.get(pool)
+        return gauge.stranded_fraction if gauge is not None else 0.0
+
+    def stranding_now(self, pool: str = "nic") -> float:
+        gauge = self.fleet.stranding_gauges.get(pool)
+        return gauge.stranded_now if gauge is not None else 0.0
+
+    def saturation(self, link: Optional[str] = None):
+        """CXL link saturation per host link (or one host's level)."""
+        table = {entity: series.last
+                 for (family, entity), series in self.fleet.gauges.items()
+                 if family == "link_saturation"}
+        return table if link is None else table.get(link, 0.0)
+
+    def queue_saturation(self, device: Optional[str] = None):
+        table = {entity: series.last
+                 for (family, entity), series in self.fleet.gauges.items()
+                 if family == "queue_saturation"}
+        return table if device is None else table.get(device, 0.0)
+
+    # -- alerts ------------------------------------------------------------
+
+    def alerts(self, active_only: bool = True) -> List[dict]:
+        """Firing alerts (or, with ``active_only=False``, the full log)."""
+        if active_only:
+            return [
+                {"rule": rule, "entity": entity, "since": state["since"],
+                 "value": state["value"]}
+                for (rule, entity), state in sorted(
+                    self.fleet.alerts.active.items())
+            ]
+        return [
+            {"t": e.t, "rule": e.rule, "entity": e.entity, "kind": e.kind,
+             "value": e.value}
+            for e in self.fleet.alerts.log
+        ]
+
+    # -- dashboards --------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """The full JSON document ``python -m repro top --json`` emits."""
+        fleet = self.fleet
+        devices = {}
+        for (family, entity), series in sorted(fleet.gauges.items()):
+            if family != "device_util":
+                continue
+            devices[entity] = {
+                "kind": fleet.device_kind.get(entity, "nic"),
+                "host": fleet.device_host.get(entity, ""),
+                "util": series.as_dict(),
+                "queue_saturation": self.queue_saturation(entity),
+            }
+        hosts = {}
+        for (family, entity), series in sorted(fleet.gauges.items()):
+            if family == "host_util":
+                hosts.setdefault(entity, {})["util"] = series.as_dict()
+            elif family == "link_saturation":
+                hosts.setdefault(entity, {})["link_saturation"] = \
+                    series.as_dict()
+        pools = {}
+        for kind, gauge in sorted(fleet.stranding_gauges.items()):
+            info = dict(fleet.pools.get(kind, {}))
+            info["stranded"] = gauge.stranded_fraction
+            info["stranded_now"] = gauge.stranded_now
+            pools[kind] = info
+        lease = fleet.gauges.get(("lease_expiry_rate", "pod"))
+        slo = fleet.gauges.get(("slo_burn", "pod"))
+        return {
+            "time": fleet.time,
+            "ticks": fleet.ticks,
+            "hosts": hosts,
+            "devices": devices,
+            "pools": pools,
+            "lease_expiry_rate": lease.last if lease is not None else 0.0,
+            "slo_burn": slo.last if slo is not None else 0.0,
+            "alerts": {
+                "active": self.alerts(active_only=True),
+                "fired": fleet.alerts.fired,
+                "cleared": fleet.alerts.cleared,
+                "log": fleet.alerts.log_json(),
+            },
+        }

@@ -8,6 +8,14 @@ whole registry into a bounded time-series buffer.  Experiments and the
 (:meth:`TelemetryScraper.rates`) out of the buffer, exactly the way the
 pod-wide allocator consumes the backends' 100 ms telemetry records (§3.5).
 
+The buffer is a ring: at ``max_snapshots`` the oldest snapshot is evicted
+so sampling never stops -- a long-running pod always has the freshest
+window, and ``dropped`` counts how many fell off the back.  Streaming
+consumers that must see *every* sample regardless of buffer depth register
+via :meth:`TelemetryScraper.subscribe` (that is how
+:class:`~repro.obs.fleet.FleetHealth` gets its deltas without retaining
+raw snapshots at all).
+
 The scrape period relies on :class:`~repro.sim.core.PeriodicTask` firing
 from an unjittered base timeline -- "every 100 ms" really means a 100 ms
 mean period, which is what makes the derived rates trustworthy.
@@ -15,7 +23,8 @@ mean period, which is what makes the derived rates trustworthy.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from collections import deque
+from typing import Callable, List, Optional, Tuple
 
 from .metrics import MetricsRegistry, MetricsSnapshot
 
@@ -36,10 +45,11 @@ class TelemetryScraper:
         self.registry = registry
         self.period_s = period_s
         self.max_snapshots = max_snapshots
-        self.snapshots: List[MetricsSnapshot] = []
+        self.snapshots: deque = deque(maxlen=max_snapshots)
         self.samples_taken = 0
         self.dropped = 0
         self._task = None
+        self._subscribers: List[Callable[[MetricsSnapshot], None]] = []
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -61,18 +71,31 @@ class TelemetryScraper:
             self._task.cancel()
             self._task = None
 
+    def subscribe(self, fn: Callable[[MetricsSnapshot], None]) -> None:
+        """Stream every new snapshot to ``fn`` as it is taken.
+
+        Subscribers see all samples in order even after the ring evicts
+        them, so they can maintain unbounded-horizon state (EWMAs,
+        sketches) in bounded memory.
+        """
+        self._subscribers.append(fn)
+
+    def _append(self, snapshot: MetricsSnapshot) -> None:
+        if (self.snapshots.maxlen is not None
+                and len(self.snapshots) == self.snapshots.maxlen):
+            self.dropped += 1          # ring full: the oldest falls off
+        self.snapshots.append(snapshot)
+        for fn in self._subscribers:
+            fn(snapshot)
+
     def _sample(self) -> None:
         self.samples_taken += 1
-        if len(self.snapshots) >= self.max_snapshots:
-            self.dropped += 1
-            return
-        self.snapshots.append(self.registry.snapshot(time=self.sim.now))
+        self._append(self.registry.snapshot(time=self.sim.now))
 
     def sample_now(self) -> MetricsSnapshot:
         """Take one out-of-band sample immediately (also buffered)."""
         snapshot = self.registry.snapshot(time=self.sim.now)
-        if len(self.snapshots) < self.max_snapshots:
-            self.snapshots.append(snapshot)
+        self._append(snapshot)
         return snapshot
 
     # -- reading -----------------------------------------------------------
@@ -91,7 +114,8 @@ class TelemetryScraper:
         """The sampled values of one metric over time: ``(times, values)``.
 
         With no labels given, samples of ``name`` are summed across all
-        label sets (the pod-wide total).
+        label sets (the pod-wide total).  Covers whatever window the ring
+        currently holds.
         """
         times: List[float] = []
         values: List[float] = []

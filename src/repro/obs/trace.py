@@ -174,7 +174,10 @@ class Tracer:
                 record["dur"] = event.dur * 1e6
             else:
                 record["ph"] = "i"
-                record["s"] = "t"    # instant scope: thread
+                # Alert instants get process scope so they draw a full-height
+                # marker across every track (an alert concerns the whole
+                # pod); everything else stays thread-scoped.
+                record["s"] = "p" if event.category == "alert" else "t"
             out.append(record)
             flow_step = event.args.get("flow_step")
             if flow_step in ("s", "t", "f") and "flow_id" in event.args:

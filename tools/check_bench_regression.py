@@ -18,6 +18,12 @@ into the benchmark dump and compares it against the committed baseline:
   healthy CI runner (see the note inside the baseline file), so a trip
   means a real slowdown, not machine jitter.
 
+When the dump also carries a ``fleet_overhead`` entry (recorded by
+``benchmarks/test_fleet_overhead.py``), its ``disabled_regression`` -- the
+wall-clock cost a pod pays for the fleet-health pipeline *without ever
+enabling it* -- must stay under ``--fleet-tolerance`` (default 2%): the
+observability stack is opt-in and must be free when not opted into.
+
 Exit status: 0 on pass, 1 on regression, 2 on missing/malformed inputs.
 """
 
@@ -40,6 +46,9 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.2,
                         help="allowed fractional events/sec drop "
                              "(default 0.2 == 20%%)")
+    parser.add_argument("--fleet-tolerance", type=float, default=0.02,
+                        help="allowed wall-clock cost of the never-enabled "
+                             "fleet-health pipeline (default 0.02 == 2%%)")
     args = parser.parse_args(argv)
 
     try:
@@ -81,6 +90,18 @@ def main(argv=None) -> int:
     print(f"baseline:  {float(baseline['events_per_sec']):,.0f} events/s "
           f"floor, tolerance {args.tolerance * 100:.0f}% -> gate at "
           f"{floor:,.0f}")
+
+    fleet = results.get("results", {}).get("fleet_overhead")
+    if fleet is not None:
+        disabled = float(fleet["disabled_regression"])
+        print(f"fleet overhead (disabled): {disabled * 100:+.2f}% "
+              f"(gate at {args.fleet_tolerance * 100:.0f}%)")
+        if disabled > args.fleet_tolerance:
+            failures.append(
+                f"never-enabled fleet-health pipeline costs "
+                f"{disabled * 100:.2f}% of echo sim throughput "
+                f"(> {args.fleet_tolerance * 100:.0f}%); the pipeline must "
+                "be free unless enable_fleet_telemetry() is called")
 
     if failures:
         for failure in failures:

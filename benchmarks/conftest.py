@@ -7,12 +7,14 @@ whole suite finishes in minutes; set ``OASIS_SCALE=1`` for full-scale runs
 
 Benchmarks that produce headline numbers record them through the
 ``record_result`` fixture; at session end everything recorded is dumped to
-``BENCH_pr6.json`` (override the path with ``OASIS_BENCH_RESULTS``) so CI can
+``BENCH_pr8.json`` (override the path with ``OASIS_BENCH_RESULTS``) so CI can
 archive the figures alongside the timing data.  The dump includes the
 event-kernel headline metrics (sim events/sec, wall-clock seconds per
-simulated second) recorded by ``test_sim_speed.py``; CI compares them
-against ``benchmarks/baseline_sim_speed.json`` and fails the PR on a >20%
-events/sec regression.
+simulated second) recorded by ``test_sim_speed.py`` and the rack-scale
+metrics (32-host events/sec, group-commit latency) recorded by
+``test_rack_scale.py``; CI compares them against
+``benchmarks/baseline_sim_speed.json`` / ``baseline_rack_scale.json`` and
+fails the PR on regression.
 """
 
 import json
@@ -25,7 +27,7 @@ os.environ.setdefault("OASIS_SCALE", "0.5")
 
 RESULTS_PATH = Path(os.environ.get(
     "OASIS_BENCH_RESULTS",
-    str(Path(__file__).resolve().parent.parent / "BENCH_pr6.json")))
+    str(Path(__file__).resolve().parent.parent / "BENCH_pr8.json")))
 
 _results = {}
 

@@ -39,6 +39,7 @@ def main(argv=None) -> int:
         print("       python -m repro trace [out.json]")
         print("       python -m repro flows [out.json]")
         print("       python -m repro top [--once] [--json] [--hosts N]")
+        print("       python -m repro rack [--hosts N] [--pools M] [--json]")
         print("       python -m repro chaos [--seed N] [--plan plan.json]\n")
         print("experiments:")
         for name, (title, _) in by_name.items():
@@ -48,6 +49,7 @@ def main(argv=None) -> int:
         print("  trace    failover run exported as Chrome-trace JSON")
         print("  flows    per-request latency attribution (bottleneck profile)")
         print("  top      live fleet-health dashboard (utilization/stranding/alerts)")
+        print("  rack     32-host rack: echo on every host + sharded control plane")
         print("  chaos    deterministic fault injection with invariant checks")
         return 0
     if argv[0] == "report":
@@ -70,6 +72,10 @@ def main(argv=None) -> int:
 
         main_flows(argv[1] if len(argv) > 1 else None)
         return 0
+    if argv[0] == "rack":
+        from .experiments.rack import main_rack
+
+        return main_rack(argv[1:])
     if argv[0] == "chaos":
         from .faults.chaos import main_chaos
 

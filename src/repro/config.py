@@ -204,6 +204,11 @@ class FailoverConfig:
     migration_grace_period_s: float = 5.0   # dual-NIC RX window during migration
     lease_sweep_interval_ms: float = 250.0  # expiry sweep period (lease lifecycle)
     commit_retry_ms: float = 20.0           # re-propose queued commands to a new leader
+    #: Group-commit flush window for replication: commands buffered up to
+    #: this long ride one Raft log entry.  0 disables batching (every
+    #: command is its own entry -- the 2-host replay-identical default).
+    commit_batch_window_ms: float = 0.0
+    commit_batch_max: int = 64              # flush early past this many buffered commands
 
     def validate(self) -> None:
         if self.link_monitor_interval_ms <= 0:
@@ -214,6 +219,10 @@ class FailoverConfig:
             raise ConfigError("lease_sweep_interval_ms must be positive")
         if self.commit_retry_ms <= 0:
             raise ConfigError("commit_retry_ms must be positive")
+        if self.commit_batch_window_ms < 0:
+            raise ConfigError("commit_batch_window_ms must be >= 0")
+        if self.commit_batch_max < 1:
+            raise ConfigError("commit_batch_max must be >= 1")
 
 
 @dataclass(frozen=True)

@@ -4,10 +4,12 @@ from .allocator import AllocatorClient, PodAllocator
 from .balancer import LoadBalancer
 from .leases import Lease, LeaseTable
 from .policy import DeviceState, PlacementPolicy
+from .sharded import ShardedAllocator
 from .telemetry import TelemetryStore
 
 __all__ = [
     "PodAllocator",
+    "ShardedAllocator",
     "AllocatorClient",
     "LoadBalancer",
     "Lease",

@@ -87,6 +87,17 @@ class PodAllocator:
         self._failover_inflight: set = set()
         self.duplicate_reports = 0
         self.failover_no_backup = 0
+        # Group commit (rack scale): commands buffered inside the flush
+        # window ride a single Raft entry.  Off (window 0) by default.
+        self._batch_buf: list = []
+        self._batch_timer_armed = False
+        self._batch_seq = 0
+        self.batches_proposed = 0
+        # Decide -> leader-applied latency samples (seconds), for the rack
+        # benchmark; bounded so long runs cannot grow without limit.
+        self._decided_at: Dict[str, float] = {}
+        self.commit_latencies: list = []
+        self._commit_latency_cap = 200_000
 
     # -- replicated-state views ----------------------------------------------------
 
@@ -243,6 +254,19 @@ class PodAllocator:
 
     def _service_apply(self, command: dict) -> None:
         """Canonical apply: mutate state once, run side effects once."""
+        if command.get("op") == "batch":
+            # Group-commit entry: apply + effect each sub-command in decide
+            # order, exactly once per batch cid (duplicate log entries of the
+            # same batch are skipped wholesale; re-batched duplicates of a
+            # sub-command dedup on the sub-command's own cid below).
+            bcid = command.get("cid")
+            if bcid is not None and bcid in self._effected:
+                return
+            if bcid is not None:
+                self._effected.add(bcid)
+            for sub in command.get("cmds", []):
+                self._service_apply(sub)
+            return
         cid = command.get("cid")
         if cid is None or cid not in self._effected:
             if self.machine.apply(command):
@@ -250,6 +274,11 @@ class PodAllocator:
                     self._effected.add(cid)
                 self._execute_effects(command)
         if cid is not None:
+            if cid in self._pending:
+                decided = self._decided_at.pop(cid, None)
+                if (decided is not None
+                        and len(self.commit_latencies) < self._commit_latency_cap):
+                    self.commit_latencies.append(self.sim.now - decided)
             self._pending.pop(cid, None)
             self._proposed_at.pop(cid, None)
 
@@ -259,7 +288,8 @@ class PodAllocator:
         self._service_apply(command)
         if self.replicated:
             self._pending[command["cid"]] = command
-            self._try_propose(command)
+            self._decided_at[command["cid"]] = self.sim.now
+            self._replicate(command)
         return command
 
     def _commit(self, command: dict) -> dict:
@@ -269,8 +299,53 @@ class PodAllocator:
             self._service_apply(command)
             return command
         self._pending[command["cid"]] = command
-        self._try_propose(command)
+        self._decided_at[command["cid"]] = self.sim.now
+        self._replicate(command)
         return command
+
+    def _replicate(self, command: dict) -> None:
+        """Hand a pending command to Raft: direct, or via the batch buffer."""
+        window_ms = self.config.failover.commit_batch_window_ms
+        if window_ms <= 0:
+            self._try_propose(command)
+            return
+        self._batch_buf.append(command)
+        if len(self._batch_buf) >= self.config.failover.commit_batch_max:
+            self._flush_batch()
+        elif not self._batch_timer_armed:
+            # One-shot flush timer, re-armed by the next buffered command
+            # after each flush (a stuck always-armed flag would strand every
+            # command buffered after the first window -- see the regression
+            # in tests/test_control_plane.py).
+            self._batch_timer_armed = True
+            self.sim.schedule(window_ms * MSEC, self._flush_batch)
+
+    def _flush_batch(self) -> None:
+        self._batch_timer_armed = False
+        if not self._batch_buf:
+            return
+        cmds, self._batch_buf = self._batch_buf, []
+        # A command can leave _pending before its flush fires (an earlier
+        # duplicate entry already applied it); don't re-propose those.
+        cmds = [cmd for cmd in cmds if cmd["cid"] in self._pending]
+        if not cmds:
+            return
+        leader = self.leader_node()
+        if leader is None:
+            # Leaderless flush window (e.g. the leader crashed after decide):
+            # the commands are already in _pending with no proposal stamp, so
+            # the commit-retry task re-batches them after the next election.
+            return
+        self._propose_batch(leader, cmds)
+
+    def _propose_batch(self, leader, cmds: list) -> None:
+        self._batch_seq += 1
+        leader.propose({"op": "batch", "cid": f"b{self._batch_seq:06d}",
+                        "cmds": list(cmds)})
+        self.batches_proposed += 1
+        now = self.sim.now
+        for cmd in cmds:
+            self._proposed_at[cmd["cid"]] = now
 
     def _try_propose(self, command: dict) -> None:
         leader = self.leader_node()
@@ -293,9 +368,16 @@ class PodAllocator:
         if leader is None:
             return
         interval = self.config.failover.commit_retry_ms * MSEC
-        for cid in sorted(self._pending):
-            last = self._proposed_at.get(cid, -1.0)
-            if self.sim.now - last >= interval * 0.99:
+        due = [cid for cid in sorted(self._pending)
+               if self.sim.now - self._proposed_at.get(cid, -1.0)
+               >= interval * 0.99]
+        if not due:
+            return
+        if self.config.failover.commit_batch_window_ms > 0:
+            # Group commit: the whole overdue backlog rides one entry.
+            self._propose_batch(leader, [self._pending[cid] for cid in due])
+        else:
+            for cid in due:
                 leader.propose(self._pending[cid])
                 self._proposed_at[cid] = self.sim.now
 
@@ -310,9 +392,29 @@ class PodAllocator:
 
     # -- placement --------------------------------------------------------------------
 
+    def _device_heads(self, storage: bool = False) -> Optional[Dict[str, set]]:
+        """Hosts currently attached per device (the multi-headed-device port
+        map).  Only materialised when the policy enforces a port limit."""
+        if self.policy.port_limit is None:
+            return None
+        table = (self.state.storage_assignments if storage
+                 else self.state.assignments)
+        heads: Dict[str, set] = {}
+        for ip, device in table.items():
+            host = self.state.hosts.get(ip)
+            if host is not None:
+                heads.setdefault(device, set()).add(host)
+        return heads
+
+    def choose_backup_name(self, exclude: str) -> Optional[str]:
+        """Pick a backup device name for a pinned placement (pod helper)."""
+        backup = self.policy.choose_backup(self.devices, exclude=exclude)
+        return backup.name if backup else None
+
     def place_instance(self, ip: int, host_name: str, nic_demand_gbps: float) -> tuple:
         """Allocate a (primary, backup) NIC pair for a new instance."""
-        device = self.policy.choose(self.devices, host_name, nic_demand_gbps)
+        device = self.policy.choose(self.devices, host_name, nic_demand_gbps,
+                                    heads=self._device_heads())
         backup = self.policy.choose_backup(self.devices, exclude=device.name)
         self._decide_commit({
             "op": "place", "ip": ip, "host": host_name, "nic": device.name,
@@ -347,7 +449,8 @@ class PodAllocator:
     def place_storage(self, ip: int, host_name: str, ssd_demand_tb: float) -> str:
         """Allocate an SSD for a new instance; returns the device name."""
         device = self.policy.choose(self.storage_devices, host_name,
-                                    ssd_demand_tb)
+                                    ssd_demand_tb,
+                                    heads=self._device_heads(storage=True))
         self._decide_commit({
             "op": "place-storage", "ip": ip, "host": host_name,
             "ssd": device.name, "demand": ssd_demand_tb,
@@ -614,7 +717,8 @@ class PodAllocator:
         demand = entry[1] if entry is not None else self.state.demands.get(ip, 0.0)
         host = (entry[0] if entry is not None and entry[0] else host_name) or ""
         try:
-            device = self.policy.choose(self.devices, host, demand)
+            device = self.policy.choose(self.devices, host, demand,
+                                        heads=self._device_heads())
         except AllocationError:
             return False
         backup = self.policy.choose_backup(self.devices, exclude=device.name)

@@ -41,10 +41,18 @@ class DeviceState:
 class PlacementPolicy:
     """Local-first, then least-loaded greedy placement."""
 
-    def __init__(self, allow_oversubscription: float = 1.0):
+    def __init__(self, allow_oversubscription: float = 1.0,
+                 port_limit: Optional[int] = None):
         """``allow_oversubscription`` > 1 lets allocated demand exceed
-        capacity (the whole point of pooling bursty traffic, §2.2)."""
+        capacity (the whole point of pooling bursty traffic, §2.2).
+
+        ``port_limit`` models the multi-headed device's finite head count: a
+        device already serving instances from ``port_limit`` distinct hosts
+        is ineligible for any further host (the head map is passed per call
+        via ``choose(..., heads=...)``).
+        """
         self.allow_oversubscription = allow_oversubscription
+        self.port_limit = port_limit
 
     def _fits(self, device: DeviceState, demand: float) -> bool:
         limit = device.capacity * self.allow_oversubscription
@@ -57,17 +65,28 @@ class PlacementPolicy:
             return False  # backups serve only node-local instances
         return True
 
+    def _within_ports(self, device: DeviceState, host: str,
+                      heads: Optional[Dict[str, set]]) -> bool:
+        if self.port_limit is None or heads is None:
+            return True
+        current = heads.get(device.name)
+        if not current or host in current:
+            return True
+        return len(current) < self.port_limit
+
     def choose(
         self,
         devices: Dict[str, DeviceState],
         host: str,
         demand: float,
+        heads: Optional[Dict[str, set]] = None,
     ) -> DeviceState:
         """Pick a device for an instance on ``host`` needing ``demand``."""
         # 1. Host-local devices first.
         local = [
             d for d in devices.values()
             if d.host == host and self._eligible(d, host) and self._fits(d, demand)
+            and self._within_ports(d, host, heads)
         ]
         if local:
             return min(local, key=lambda d: d.utilization())
@@ -75,6 +94,7 @@ class PlacementPolicy:
         remote = [
             d for d in devices.values()
             if self._eligible(d, host) and self._fits(d, demand)
+            and self._within_ports(d, host, heads)
         ]
         if remote:
             return min(remote, key=lambda d: d.utilization())

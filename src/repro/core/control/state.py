@@ -331,6 +331,19 @@ class AllocatorStateMachine:
         self.last_failover = {"nic": nic, "backup": backup_name,
                               "moved": [ip for ip, _ in moved]}
 
+    # -- group commit -----------------------------------------------------------
+
+    def _op_batch(self, cmd: dict) -> None:
+        """One Raft log entry carrying several commands (group commit).
+
+        Sub-commands apply in decide order with their own cid dedup, so a
+        batch that lands in the log twice (leader crash between append and
+        ack, then a re-proposed batch) is as harmless as a duplicated
+        single-command entry.
+        """
+        for sub in cmd.get("cmds", []):
+            self.apply(sub)
+
     def _op_expire(self, cmd: dict) -> None:
         state = self.state
         for ip, dev, revoke_epoch, kind in cmd.get("entries", []):

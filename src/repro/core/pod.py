@@ -31,6 +31,8 @@ Typical use::
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..config import OasisConfig
@@ -45,14 +47,14 @@ from ..obs import FlowRegistry, MetricsRegistry, TelemetryScraper, Tracer, bindi
 from ..pcie.nic import SimNIC
 from ..sim.core import Simulator
 from ..sim.rng import RngFactory
-from .allocator import AllocatorClient, PodAllocator
+from .allocator import AllocatorClient, PodAllocator, ShardedAllocator
 from .arp import ArpRegistry
 from .datapath import ChannelPair, SharedRegions
 from .netengine.backend import FrontendLink, NetBackend
 from .netengine.frontend import BackendLink, NetFrontend
 from .raft import DirectTransport, RaftNode
 
-__all__ = ["CXLPod"]
+__all__ = ["CXLPod", "RackPod", "RackBuilder", "PoolGroup"]
 
 _MODES = ("oasis", "local", "local-cxl-buffers")
 
@@ -77,11 +79,8 @@ class CXLPod:
         self.regions = SharedRegions(self.pool, self.config)
         self.switch = LearningSwitch(self.sim)
         self.arp = ArpRegistry()
-        self.allocator = PodAllocator(self.sim, self.config)
-        # CXL-resident device metadata (§3.3.3): one 64 B line per pooled
-        # device mirrors its fencing epoch into pool memory.
-        self.allocator.epochs.attach_mirror(
-            self.pool, self.regions.alloc(4096, "epoch-meta"))
+        self.allocator = self._build_allocator()
+        self._attach_epoch_mirrors()
         self.hosts: List[Host] = []
         self.frontends: Dict[str, NetFrontend] = {}
         self.backends: Dict[str, NetBackend] = {}
@@ -120,6 +119,17 @@ class CXLPod:
         # computed while disabled are swapped for the live object.
         self._traced: list = []
         self._flowed: list = []
+
+    # -- construction hooks (overridden by RackPod) ---------------------------------
+
+    def _build_allocator(self):
+        return PodAllocator(self.sim, self.config)
+
+    def _attach_epoch_mirrors(self) -> None:
+        # CXL-resident device metadata (§3.3.3): one 64 B line per pooled
+        # device mirrors its fencing epoch into pool memory.
+        self.allocator.epochs.attach_mirror(
+            self.pool, self.regions.alloc(4096, "epoch-meta"))
 
     def _bind_tracer(self, component) -> None:
         component.set_tracer(self.tracer)
@@ -255,12 +265,8 @@ class CXLPod:
         frontend = self.frontends[host.name]
 
         if nic is not None:
-            primary_name, backup_name = nic.name, None
-            backup = self.allocator.policy.choose_backup(
-                self.allocator.devices, exclude=nic.name
-            )
-            if backup is not None:
-                backup_name = backup.name
+            primary_name = nic.name
+            backup_name = self.allocator.choose_backup_name(nic.name)
             self.allocator.place_pinned(ip, host.name, primary_name,
                                         spec.nic_gbps, backup=backup_name)
         else:
@@ -406,13 +412,25 @@ class CXLPod:
             )
             node.tracer = self.tracer
             # Pin each replica to a host so host-crash faults take its
-            # control-plane replica down with it.
-            node.host = self.hosts[i % len(self.hosts)] if self.hosts else None
+            # control-plane replica down with it.  With more hosts than
+            # replicas, stride the replicas evenly across the host list --
+            # packing them onto the first few hosts (the old ``i % len``)
+            # put a log majority on one rack slice, so a single host crash
+            # could stall the whole control plane.
+            node.host = self._replica_host(i, replicas, self.hosts)
             bindings.bind_raft_node(self.metrics, node)
             self.raft_nodes.append(node)
         self.allocator.attach_raft_cluster(self.raft_nodes)
         for node in self.raft_nodes:
             node.start()
+
+    @staticmethod
+    def _replica_host(i: int, replicas: int, hosts: List[Host]):
+        if not hosts:
+            return None
+        if len(hosts) >= replicas:
+            return hosts[(i * len(hosts)) // replicas]
+        return hosts[i % len(hosts)]
 
     def set_fencing(self, enabled: bool) -> None:
         """Toggle epoch fencing at every backend (for overhead comparisons).
@@ -567,3 +585,246 @@ class CXLPod:
         for frontend in self.frontends.values():
             frontend.stop_monitors()
         self.allocator.stop()
+
+
+# -- rack scale -----------------------------------------------------------------------
+
+
+@dataclass
+class PoolGroup:
+    """One CXL pool's slice of a rack: memory, regions, member hosts."""
+
+    name: str
+    pool: CXLMemoryPool
+    regions: SharedRegions
+    hosts: List[Host] = field(default_factory=list)
+
+
+class RackPod(CXLPod):
+    """A rack-scale pod: N hosts across M CXL pools, sharded control plane.
+
+    Each pool is an independent :class:`PoolGroup` -- its own
+    :class:`~repro.mem.cxl.CXLMemoryPool`, shared regions and allocator
+    shard (a full :class:`~repro.core.allocator.PodAllocator` with its own
+    state machine, epoch table and optional Raft cluster).  Hosts belong to
+    exactly one pool; frontends are wired only to same-pool backends, so a
+    placement never crosses a pool boundary -- the datapath's shared
+    buffers live in exactly one pool.
+
+    ``port_limit`` models the multi-headed device's finite head count: the
+    shard's placement policy refuses to attach a device to more than
+    ``port_limit`` distinct hosts.  Always ``"oasis"`` mode -- the rack
+    regime only exists with pooled devices.
+    """
+
+    def __init__(
+        self,
+        config: Optional[OasisConfig] = None,
+        pools: int = 1,
+        port_limit: Optional[int] = None,
+        channel_hop_us: float = 2.8,
+    ):
+        if pools < 1:
+            raise ConfigError(f"pools must be >= 1, got {pools}")
+        self._n_pools = pools
+        self._port_limit = port_limit
+        self.groups: List[PoolGroup] = []
+        self._host_group: Dict[str, PoolGroup] = {}
+        super().__init__(config=config, mode="oasis",
+                         channel_hop_us=channel_hop_us)
+
+    # -- construction hooks ---------------------------------------------------------
+
+    def _build_allocator(self):
+        # Pool 0 wraps the base pod's pool/regions; the rest are fresh.
+        self.groups = [PoolGroup("pool0", self.pool, self.regions)]
+        for i in range(1, self._n_pools):
+            pool = CXLMemoryPool(self.config.cxl)
+            self.groups.append(
+                PoolGroup(f"pool{i}", pool, SharedRegions(pool, self.config)))
+        return ShardedAllocator(self.sim, self.config,
+                                [g.name for g in self.groups],
+                                port_limit=self._port_limit)
+
+    def _attach_epoch_mirrors(self) -> None:
+        for group in self.groups:
+            self.allocator.shards[group.name].epochs.attach_mirror(
+                group.pool, group.regions.alloc(4096, "epoch-meta"))
+
+    @contextmanager
+    def _in_group(self, group: PoolGroup):
+        """Run base-class topology code against ``group``'s pool/regions."""
+        prev = (self.pool, self.regions)
+        self.pool, self.regions = group.pool, group.regions
+        try:
+            yield
+        finally:
+            self.pool, self.regions = prev
+
+    # -- topology -------------------------------------------------------------------
+
+    def add_host(self, name: Optional[str] = None,
+                 pool: Optional[int] = None) -> Host:
+        """Add a host to pool ``pool`` (default: pool 0)."""
+        group = self.groups[(pool or 0) % len(self.groups)]
+        host_name = name or f"h{len(self.hosts)}"
+        # Routing must exist before the base class registers the frontend
+        # and wires channels (both consult the host -> shard map).
+        self._host_group[host_name] = group
+        self.allocator.assign_host(host_name, group.name)
+        with self._in_group(group):
+            host = super().add_host(host_name)
+        group.hosts.append(host)
+        return host
+
+    def add_nic(self, host: Host, is_backup: bool = False,
+                name: Optional[str] = None) -> SimNIC:
+        group = self._host_group[host.name]
+        with self._in_group(group):
+            nic = super().add_nic(host, is_backup=is_backup, name=name)
+        # Hot path: the backend stamps/checks epochs per post -- hand it the
+        # shard's real table instead of the per-call routing facade.
+        self.backends[nic.name].epochs = self.allocator.shards[group.name].epochs
+        return nic
+
+    def add_ssd(self, host: Host, name: Optional[str] = None):
+        group = self._host_group[host.name]
+        with self._in_group(group):
+            ssd = super().add_ssd(host, name=name)
+        self.storage_backends[ssd.name].epochs = (
+            self.allocator.shards[group.name].epochs)
+        return ssd
+
+    def _wire(self, frontend: NetFrontend, backend: NetBackend) -> None:
+        gf = self._host_group.get(frontend.host.name)
+        gb = self._host_group.get(backend.host.name)
+        if gf is None or gb is None or gf is not gb:
+            return  # never wire across pools: no shared buffers to post into
+        with self._in_group(gf):
+            super()._wire(frontend, backend)
+
+    def _storage_frontend(self, host: Host):
+        with self._in_group(self._host_group[host.name]):
+            return super()._storage_frontend(host)
+
+    def add_block_device(self, instance: Instance, ssd=None):
+        with self._in_group(self._host_group[instance.host.name]):
+            return super().add_block_device(instance, ssd=ssd)
+
+    # -- control-plane replication --------------------------------------------------
+
+    def enable_raft(self, replicas: int = 3, latency_us: float = 5.0) -> None:
+        """One Raft cluster per pool shard.
+
+        Replicas are strided across the shard's own hosts (distinct hosts
+        whenever the pool has enough), so one host crash can never take a
+        log majority down with it.
+        """
+        for group in self.groups:
+            shard = self.allocator.shards[group.name]
+            transport = DirectTransport(self.sim, latency_us)
+            ids = [f"alloc-{group.name}-{i}" for i in range(replicas)]
+            nodes = []
+            for i, node_id in enumerate(ids):
+                # The shard-colocated node deterministically wins the first
+                # election (same convention as the 2-host pod).
+                timeouts = (60.0, 90.0) if i == 0 else (150.0, 300.0)
+                node = RaftNode(
+                    self.sim, node_id, ids, transport,
+                    apply_cb=None,
+                    election_timeout_ms=timeouts,
+                    rng=self.rng.get(f"raft-{node_id}"),
+                )
+                node.tracer = self.tracer
+                node.host = self._replica_host(i, replicas,
+                                               group.hosts or self.hosts)
+                bindings.bind_raft_node(self.metrics, node)
+                self.raft_nodes.append(node)
+                nodes.append(node)
+            shard.attach_raft_cluster(nodes)
+            for node in nodes:
+                node.start()
+
+    def set_fencing(self, enabled: bool) -> None:
+        for name, backend in self.backends.items():
+            shard = self.allocator.shard_for_device(name)
+            backend.epochs = shard.epochs if enabled else None
+            backend.fencing_enabled = enabled
+        for name, backend in self.storage_backends.items():
+            shard = self.allocator.shard_for_device(name)
+            backend.epochs = shard.epochs if enabled else None
+            backend.fencing_enabled = enabled
+
+    # -- measurement ----------------------------------------------------------------
+
+    def cxl_traffic_by_category(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for group in self.groups:
+            for stats in group.pool.link_stats.values():
+                for category, nbytes in stats.by_category().items():
+                    merged[category] = merged.get(category, 0) + nbytes
+        return merged
+
+
+class RackBuilder:
+    """Declarative rack topology -> a fully wired :class:`RackPod`.
+
+    Hosts are block-assigned to pools (hosts ``0..k-1`` to ``pool0`` and so
+    on), every host gets ``nics_per_host`` pooled NICs and ``ssds_per_host``
+    SSDs, and each pool designates ``backup_nics_per_pool`` additional NICs
+    as failover backups.  The defaults build the ROADMAP's 32-host rack
+    with 224 pooled devices::
+
+        pod = RackBuilder().build()            # 32 hosts, 4 pools, K=4
+        pod = RackBuilder(hosts=8, pools=2).build()   # CI-sized slice
+    """
+
+    def __init__(
+        self,
+        hosts: int = 32,
+        pools: int = 4,
+        nics_per_host: int = 2,
+        ssds_per_host: int = 1,
+        backup_nics_per_pool: int = 1,
+        port_limit: Optional[int] = 4,
+        config: Optional[OasisConfig] = None,
+        channel_hop_us: float = 2.8,
+    ):
+        if hosts < 1:
+            raise ConfigError(f"hosts must be >= 1, got {hosts}")
+        if pools < 1 or pools > hosts:
+            raise ConfigError(
+                f"need 1 <= pools <= hosts, got pools={pools} hosts={hosts}")
+        if nics_per_host < 1:
+            raise ConfigError("nics_per_host must be >= 1")
+        self.hosts = hosts
+        self.pools = pools
+        self.nics_per_host = nics_per_host
+        self.ssds_per_host = ssds_per_host
+        self.backup_nics_per_pool = backup_nics_per_pool
+        self.port_limit = port_limit
+        self.config = config
+        self.channel_hop_us = channel_hop_us
+
+    def device_count(self) -> int:
+        return (self.hosts * (self.nics_per_host + self.ssds_per_host)
+                + self.pools * self.backup_nics_per_pool)
+
+    def build(self) -> RackPod:
+        pod = RackPod(config=self.config, pools=self.pools,
+                      port_limit=self.port_limit,
+                      channel_hop_us=self.channel_hop_us)
+        per_pool = (self.hosts + self.pools - 1) // self.pools
+        for i in range(self.hosts):
+            pod.add_host(pool=min(i // per_pool, self.pools - 1))
+        for group in pod.groups:
+            for host in group.hosts:
+                for _ in range(self.nics_per_host):
+                    pod.add_nic(host)
+                for _ in range(self.ssds_per_host):
+                    pod.add_ssd(host)
+            for b in range(self.backup_nics_per_pool):
+                if group.hosts:
+                    pod.add_nic(group.hosts[b % len(group.hosts)],
+                                is_backup=True)
+        return pod

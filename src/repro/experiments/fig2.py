@@ -30,7 +30,18 @@ def run(
     pod_sizes: Sequence[int] = (1, 2, 4, 8, 16),
     seed: int = 7,
     crosscheck: bool = False,
+    rack: bool = False,
+    port_limit: Optional[int] = 4,
 ) -> dict:
+    """Figure 2 pipeline; ``rack=True`` adds the 32-host rack-scale study.
+
+    The rack study re-runs the pooling sweep with rack-sized pods (up to 32
+    hosts sharing one pool shard) under the multi-headed device's
+    ``port_limit`` -- a device attaches to at most that many hosts, so a
+    32-host pod needs at least ``ceil(32 / port_limit)`` devices.  The
+    headline is that rack-scale pooling still strands *less* than the
+    2-host pods PRs 1-7 simulated (``beats_2host`` flags).
+    """
     rng = np.random.default_rng(seed)
     trace = generate_allocation_trace(
         n_instances=n_instances, duration_s=20_000.0, mean_lifetime_s=3000.0,
@@ -51,6 +62,26 @@ def run(
         "nic": nic,
         "ssd": ssd,
     }
+    if rack:
+        rack_sizes = tuple(s for s in (2, 8, 32) if s <= n_hosts)
+        rack_nic = pooled_stranding(
+            trace, n_hosts, rack_sizes, "nic_gbps", NIC_DEVICE_UNIT,
+            rng=np.random.default_rng(seed + 4), port_limit=port_limit)
+        rack_ssd = pooled_stranding(
+            trace, n_hosts, rack_sizes, "ssd_tb", SSD_DEVICE_UNIT,
+            rng=np.random.default_rng(seed + 5), port_limit=port_limit)
+        results["rack"] = {
+            "port_limit": port_limit,
+            "pod_sizes": rack_sizes,
+            "nic": rack_nic,
+            "ssd": rack_ssd,
+            "nic_beats_2host": (
+                rack_nic[-1].stranded_fraction
+                < rack_nic[0].stranded_fraction),
+            "ssd_beats_2host": (
+                rack_ssd[-1].stranded_fraction
+                < rack_ssd[0].stranded_fraction),
+        }
     if crosscheck:
         # Live-vs-offline agreement on one pod spanning every host: the
         # streaming StrandingGauge replayed over the same timeline must

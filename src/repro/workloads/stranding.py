@@ -185,6 +185,7 @@ def pooled_stranding(
     rng: Optional[np.random.Generator] = None,
     repeats: int = 3,
     load_threshold: float = 0.6,
+    port_limit: Optional[int] = None,
 ) -> List[PoolingResult]:
     """Figure 2: stranded share vs pod size for one pooled resource.
 
@@ -192,6 +193,11 @@ def pooled_stranding(
     averaged over ``repeats`` shuffles.  Provisioning per pod is the minimum
     whole-device count covering the pod's peak pooled demand, but never less
     than one device per pod.
+
+    ``port_limit`` models the multi-headed device's finite head count at
+    rack scale: a device attaches to at most ``port_limit`` hosts, so a pod
+    of ``m`` members needs at least ``ceil(m / port_limit)`` devices no
+    matter how low its pooled peak is.
     """
     rng = rng if rng is not None else np.random.default_rng(0)
     timeline = UsageTimeline.build(trace, n_hosts)
@@ -221,6 +227,9 @@ def pooled_stranding(
                     devices = per_host_devices * len(members)
                 else:
                     devices = max(1, int(np.ceil(peak / device_unit - 1e-9)))
+                    if port_limit is not None:
+                        devices = max(devices, int(
+                            np.ceil(len(members) / port_limit)))
                 devices_needed += devices
                 provisioned_total += devices * device_unit
                 used_avg_total += timeline.time_average(pod_usage, mask)

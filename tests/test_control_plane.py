@@ -13,12 +13,15 @@ Covers the three pillars of the crash-recoverable allocator:
   silently reuse) its lease.
 """
 
+from dataclasses import replace
+
 import pytest
 
+from repro.config import OasisConfig
 from repro.core.control import (AllocatorStateMachine, ControlState,
                                 EpochTable, NotificationBus)
 from repro.core.netengine.messages import OP_TX, OP_TX_FENCED, NetMessage
-from repro.core.pod import CXLPod
+from repro.core.pod import CXLPod, RackBuilder
 from repro.core.storage.messages import (SOP_WRITE, STATUS_FENCED,
                                          StorageMessage)
 from repro.net.packet import make_ip
@@ -391,4 +394,77 @@ class TestLeaseLifecycle:
         assert fresh is not old
         assert fresh.valid(pod.sim.now)
         assert allocator.lease_expirations >= 1
+        pod.stop()
+
+
+class TestShardedFailover:
+    """Cross-shard isolation: each pool's shard is an independent Raft
+    group, so losing one shard's leader never blocks its siblings."""
+
+    @staticmethod
+    def _rack(batch_window_ms=0.0):
+        base = OasisConfig()
+        config = base.with_(seed=11, failover=replace(
+            base.failover, commit_batch_window_ms=batch_window_ms))
+        pod = RackBuilder(hosts=8, pools=2, nics_per_host=2, ssds_per_host=0,
+                          config=config).build()
+        pod.enable_raft(replicas=3)
+        pod.run(0.25)   # both shards elect their leaders
+        return pod
+
+    def test_leader_crash_in_one_shard_does_not_block_siblings(self):
+        pod = self._rack()
+        alloc = pod.allocator
+        s0, s1 = alloc.shards["pool0"], alloc.shards["pool1"]
+        leader0 = s0.leader_node()
+        assert leader0 is not None and s1.leader_node() is not None
+        leader0.crash()
+        ip0, ip1 = make_ip(10, 3, 0, 1), make_ip(10, 3, 0, 2)
+        alloc.place_instance(ip0, pod.hosts[0].name, 0.25)   # pool0: no leader
+        alloc.place_instance(ip1, pod.hosts[4].name, 0.25)   # pool1: healthy
+        pod.run(0.05)
+        # The sibling shard replicated immediately; the leaderless shard
+        # keeps the command queued for the retry loop.
+        assert s1.pending_commands == 0
+        assert s0.pending_commands >= 1
+        lease1 = s1.state.leases.get(ip1, s1.assignments[ip1])
+        assert lease1 is not None and lease1.valid(pod.sim.now)
+        # Re-election + retry drain the queue; the rejoined replica catches
+        # up and every shard converges.
+        pod.run(0.8)
+        assert s0.pending_commands == 0
+        leader0.restart()
+        pod.run(0.4)
+        assert alloc.pending_commands == 0
+        assert alloc.convergence_ok()
+        pod.stop()
+
+    def test_duplicate_failure_reports_stay_exactly_once_per_shard(self):
+        pod = self._rack()
+        alloc = pod.allocator
+        s0, s1 = alloc.shards["pool0"], alloc.shards["pool1"]
+        ip0, ip1 = make_ip(10, 3, 1, 1), make_ip(10, 3, 1, 2)
+        alloc.place_instance(ip0, pod.hosts[0].name, 0.25)
+        alloc.place_instance(ip1, pod.hosts[4].name, 0.25)
+        pod.run(0.05)
+        dev0, dev1 = s0.assignments[ip0], s1.assignments[ip1]
+        leader0 = s0.leader_node()
+        leader0.crash()
+        for _ in range(3):          # duplicate reports on both shards
+            alloc.on_failure_report(dev0)
+            alloc.on_failure_report(dev1)
+        pod.run(0.1)
+        # The healthy shard completes its failover promptly; the leaderless
+        # one holds the commit-gated command until re-election.
+        assert s1.failovers_executed == 1
+        assert s1.failover_log[dev1] == 1
+        assert s0.failovers_executed == 0
+        assert alloc.duplicate_reports >= 4
+        pod.run(0.8)
+        assert s0.failovers_executed == 1
+        assert s0.failover_log[dev0] == 1
+        assert alloc.failover_log[dev0] == 1
+        assert alloc.failover_log[dev1] == 1
+        assert s1.assignments[ip1] != dev1          # moved to the backup
+        assert s0.assignments.get(ip0) != dev0      # moved (or parked)
         pod.stop()

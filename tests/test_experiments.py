@@ -38,6 +38,22 @@ class TestFig2:
             assert rows[-1].devices_needed <= rows[0].devices_needed
             assert rows[-1].stranded_fraction <= rows[0].stranded_fraction
 
+    def test_rack_scale_beats_2host_pods(self):
+        # PR-8 acceptance: 32-host pods under the multi-headed port limit
+        # strand less than the 2-host pods PRs 1-7 simulated.
+        results = fig2.run(n_instances=1500, n_hosts=32,
+                           pod_sizes=(1, 2), rack=True)
+        rack = results["rack"]
+        assert rack["pod_sizes"][-1] == 32
+        for key in ("nic", "ssd"):
+            rows = rack[key]
+            assert rack[f"{key}_beats_2host"]
+            assert rows[-1].stranded_fraction < rows[0].stranded_fraction
+            assert rows[-1].devices_needed < rows[0].devices_needed
+            # Port limit floor: a 32-host pod needs >= ceil(32/4) devices
+            # no matter how low its pooled peak.
+            assert rows[-1].devices_needed >= -(-32 // rack["port_limit"])
+
 
 class TestFig3:
     def test_burstiness(self):
@@ -57,6 +73,21 @@ class TestTable2:
             assert racks[rack]["aggregated"] < per_host_max
         assert 0.05 <= racks["A"]["aggregated"] <= 0.18   # paper: 10 %
         assert 0.12 <= racks["B"]["aggregated"] <= 0.30   # paper: 20 %
+
+    def test_rack_aggregation_beats_pairs(self):
+        # PR-8 acceptance: pooling the whole 32-host rack behind shared
+        # multi-headed NICs needs fewer devices than pairing hosts two at
+        # a time (the 2-host pods earlier PRs simulated).
+        racks = table2.run(rack=True)
+        rack = racks["rack"]
+        assert rack["hosts"] == 32
+        assert rack["beats_pairs"]
+        assert rack["nics_needed"] < rack["pair_nics_needed"]
+        # The port limit floors the rack at ceil(32/4) = 8 shared NICs.
+        assert rack["nics_needed"] >= 8
+        # Rack-wide P99.99 sits well below the mean pairwise P99.99: the
+        # non-coincident bursts that motivate pooling in the first place.
+        assert rack["aggregated"] < rack["pair_mean_p9999"]
 
 
 class TestFig6:

@@ -117,3 +117,108 @@ class TestFleetAlertReplay:
         # Poisson arrivals move with the root seed, so the measured
         # utilization document cannot be identical.
         assert doc_a != doc_b
+
+
+def _rack_churn_outcome(batch_window_ms: float) -> tuple:
+    """One seeded rack run: 24 placements, 8 releases, one failover.
+
+    Returns (final canonical signature, converged, batches, pending).  The
+    failure is injected after the churn settles so placement decisions never
+    race the failover commit -- batching may only change *when* commands
+    replicate, never what the final state is.
+    """
+    from dataclasses import replace
+
+    from repro.config import OasisConfig
+    from repro.core.pod import RackBuilder
+    from repro.net.packet import make_ip
+
+    base = OasisConfig()
+    config = base.with_(seed=29, failover=replace(
+        base.failover, commit_batch_window_ms=batch_window_ms))
+    pod = RackBuilder(hosts=8, pools=2, nics_per_host=2, ssds_per_host=0,
+                      config=config).build()
+    pod.enable_raft(replicas=3)
+    pod.run(0.25)
+    alloc = pod.allocator
+    ips = [make_ip(10, 4, 0, i + 1) for i in range(24)]
+    for k, ip in enumerate(ips):
+        host = pod.hosts[k % len(pod.hosts)]
+        pod.sim.schedule(0.002 * (k + 1), alloc.place_instance,
+                         ip, host.name, 0.25)
+    for k, ip in enumerate(ips[::3]):
+        pod.sim.schedule(0.06 + 0.002 * k, alloc.release_instance, ip, 0.25)
+
+    def _fail_first_device():
+        device = alloc.assignments.get(ips[1])
+        if device is not None:
+            alloc.on_failure_report(device)
+
+    pod.sim.schedule(0.12, _fail_first_device)
+    pod.run(0.8)
+    outcome = (alloc.state.signature(), alloc.convergence_ok(),
+               alloc.batches_proposed, alloc.pending_commands)
+    pod.stop()
+    return outcome
+
+
+class TestBatchedCommitReplay:
+    """Group commit is a replication transport detail: it must never change
+    what the control plane decides, only how the log entries are packed."""
+
+    def test_batching_on_vs_off_identical_final_state(self):
+        sig_off, ok_off, batches_off, pending_off = _rack_churn_outcome(0.0)
+        sig_on, ok_on, batches_on, pending_on = _rack_churn_outcome(0.3)
+        assert sig_on == sig_off
+        assert ok_off and ok_on
+        assert pending_off == 0 and pending_on == 0
+        assert batches_off == 0      # batching disabled: per-command path
+        assert batches_on >= 1       # batching enabled: grouped proposals
+
+    def test_batching_replays_byte_identical(self):
+        a = _rack_churn_outcome(0.3)
+        b = _rack_churn_outcome(0.3)
+        assert a == b
+
+    def test_leader_crash_inside_flush_window_converges(self):
+        """Flush-window timer regression: commands buffered when their
+        shard's leader dies inside the window must survive in the pending
+        queue and replicate after re-election (the one-shot timer re-arms;
+        nothing is stranded in the batch buffer)."""
+        from dataclasses import replace
+
+        from repro.config import OasisConfig
+        from repro.core.pod import RackBuilder
+        from repro.net.packet import make_ip
+
+        base = OasisConfig()
+        config = base.with_(seed=31, failover=replace(
+            base.failover, commit_batch_window_ms=5.0))
+        pod = RackBuilder(hosts=8, pools=2, nics_per_host=2, ssds_per_host=0,
+                          config=config).build()
+        pod.enable_raft(replicas=3)
+        pod.run(0.25)
+        alloc = pod.allocator
+        shard = alloc.shards["pool0"]
+        leader = shard.leader_node()
+        assert leader is not None
+        ip_a = make_ip(10, 4, 1, 1)
+        ip_b = make_ip(10, 4, 1, 2)
+        # Place inside the 5 ms window, then crash the leader before the
+        # flush timer fires: the flush finds no leader and must leave the
+        # command for the retry loop.
+        pod.sim.schedule(0.001, alloc.place_instance,
+                         ip_a, pod.hosts[0].name, 0.25)
+        pod.sim.schedule(0.003, leader.crash)
+        pod.run(0.9)   # election timeout + retry windows
+        assert shard.pending_commands == 0
+        assert shard.assignments[ip_a] is not None
+        # Second wave after the first flush: the one-shot timer re-arms.
+        alloc.place_instance(ip_b, pod.hosts[1].name, 0.25)
+        pod.run(0.3)
+        assert shard.pending_commands == 0
+        assert shard.batches_proposed >= 1
+        leader.restart()
+        pod.run(0.4)
+        assert alloc.convergence_ok()
+        pod.stop()

@@ -3,7 +3,7 @@
 
 Usage::
 
-    python tools/check_bench_regression.py BENCH_pr6.json \
+    python tools/check_bench_regression.py BENCH_pr8.json \
         [--baseline benchmarks/baseline_sim_speed.json] [--tolerance 0.2]
 
 Reads the ``sim_speed`` entry that ``benchmarks/test_sim_speed.py`` records
@@ -24,6 +24,14 @@ wall-clock cost a pod pays for the fleet-health pipeline *without ever
 enabling it* -- must stay under ``--fleet-tolerance`` (default 2%): the
 observability stack is opt-in and must be free when not opted into.
 
+When the dump carries a ``rack_scale`` entry (recorded by
+``benchmarks/test_rack_scale.py`` or ``python -m repro rack --out``), it is
+gated against ``benchmarks/baseline_rack_scale.json``: the 32-host rack's
+``events_per_sec`` must stay above ``(1 - tolerance)`` of the committed
+floor, the group-commit ``commit_p99_ms`` (simulated time, so exact on any
+machine) must stay under the ceiling, and the control plane must have
+converged with an empty proposal queue.
+
 Exit status: 0 on pass, 1 on regression, 2 on missing/malformed inputs.
 """
 
@@ -36,13 +44,17 @@ from pathlib import Path
 
 DEFAULT_BASELINE = (Path(__file__).resolve().parent.parent
                     / "benchmarks" / "baseline_sim_speed.json")
+DEFAULT_RACK_BASELINE = (Path(__file__).resolve().parent.parent
+                         / "benchmarks" / "baseline_rack_scale.json")
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", type=Path,
-                        help="benchmark dump (BENCH_pr6.json)")
+                        help="benchmark dump (BENCH_pr8.json)")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--rack-baseline", type=Path,
+                        default=DEFAULT_RACK_BASELINE)
     parser.add_argument("--tolerance", type=float, default=0.2,
                         help="allowed fractional events/sec drop "
                              "(default 0.2 == 20%%)")
@@ -102,6 +114,38 @@ def main(argv=None) -> int:
                 f"{disabled * 100:.2f}% of echo sim throughput "
                 f"(> {args.fleet_tolerance * 100:.0f}%); the pipeline must "
                 "be free unless enable_fleet_telemetry() is called")
+
+    rack = results.get("results", {}).get("rack_scale")
+    if rack is not None:
+        try:
+            rack_baseline = json.loads(args.rack_baseline.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"check_bench_regression: cannot read rack baseline: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+        rack_eps = float(rack["events_per_sec"])
+        rack_floor = (float(rack_baseline["events_per_sec"])
+                      * (1.0 - args.tolerance))
+        p99 = float(rack["commit_p99_ms"])
+        ceiling = float(rack_baseline["commit_p99_ms_ceiling"])
+        print(f"rack scale: {rack['hosts']} hosts, {rack_eps:,.0f} events/s "
+              f"(gate at {rack_floor:,.0f}), commit p99 {p99:.3f} ms "
+              f"(ceiling {ceiling:.3f}), converged={rack['converged']}")
+        if rack_eps < rack_floor:
+            failures.append(
+                f"rack events/sec regressed: {rack_eps:,.0f} < "
+                f"{rack_floor:,.0f} ({(1.0 - args.tolerance) * 100:.0f}% of "
+                f"the {float(rack_baseline['events_per_sec']):,.0f} "
+                "baseline floor)")
+        if p99 > ceiling:
+            failures.append(
+                f"rack commit p99 regressed: {p99:.3f} ms > "
+                f"{ceiling:.3f} ms ceiling (sim time -- this is a real "
+                "control-plane slowdown, not machine jitter)")
+        if not rack["converged"] or int(rack["pending_after"]) != 0:
+            failures.append(
+                "rack control plane unhealthy: converged="
+                f"{rack['converged']}, pending={rack['pending_after']}")
 
     if failures:
         for failure in failures:

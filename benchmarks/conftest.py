@@ -7,14 +7,16 @@ whole suite finishes in minutes; set ``OASIS_SCALE=1`` for full-scale runs
 
 Benchmarks that produce headline numbers record them through the
 ``record_result`` fixture; at session end everything recorded is dumped to
-``BENCH_pr8.json`` (override the path with ``OASIS_BENCH_RESULTS``) so CI can
+``BENCH_pr9.json`` (override the path with ``OASIS_BENCH_RESULTS``) so CI can
 archive the figures alongside the timing data.  The dump includes the
 event-kernel headline metrics (sim events/sec, wall-clock seconds per
-simulated second) recorded by ``test_sim_speed.py`` and the rack-scale
+simulated second) recorded by ``test_sim_speed.py``, the rack-scale
 metrics (32-host events/sec, group-commit latency) recorded by
-``test_rack_scale.py``; CI compares them against
-``benchmarks/baseline_sim_speed.json`` / ``baseline_rack_scale.json`` and
-fails the PR on regression.
+``test_rack_scale.py``, and the overload sweep (goodput recovery with and
+without retry budgets) recorded by ``test_overload.py``; CI compares them
+against ``benchmarks/baseline_sim_speed.json`` /
+``baseline_rack_scale.json`` / ``baseline_overload.json`` and fails the PR
+on regression.
 """
 
 import json
@@ -27,7 +29,7 @@ os.environ.setdefault("OASIS_SCALE", "0.5")
 
 RESULTS_PATH = Path(os.environ.get(
     "OASIS_BENCH_RESULTS",
-    str(Path(__file__).resolve().parent.parent / "BENCH_pr8.json")))
+    str(Path(__file__).resolve().parent.parent / "BENCH_pr9.json")))
 
 _results = {}
 

@@ -15,7 +15,10 @@ Two observability subcommands ride along:
   trace);
 * ``top [--once] [--json] [--hosts N]`` -- run a seeded echo workload with
   the fleet-health pipeline enabled and render the live rack dashboard
-  (per-host/per-device utilization bars, pool stranding, firing alerts).
+  (per-host/per-device utilization bars, pool stranding, firing alerts);
+* ``overload [--check] [--json]`` -- open-loop surge sweep through 1.5x
+  device capacity with retry budgets/admission control on vs off
+  (budgets-off shows metastable collapse, budgets-on recovers).
 """
 
 from __future__ import annotations
@@ -40,7 +43,8 @@ def main(argv=None) -> int:
         print("       python -m repro flows [out.json]")
         print("       python -m repro top [--once] [--json] [--hosts N]")
         print("       python -m repro rack [--hosts N] [--pools M] [--json]")
-        print("       python -m repro chaos [--seed N] [--plan plan.json]\n")
+        print("       python -m repro chaos [--seed N] [--plan plan.json]")
+        print("       python -m repro overload [--check] [--json] [--out BENCH_pr9.json]\n")
         print("experiments:")
         for name, (title, _) in by_name.items():
             print(f"  {name:<8} {title}")
@@ -51,6 +55,7 @@ def main(argv=None) -> int:
         print("  top      live fleet-health dashboard (utilization/stranding/alerts)")
         print("  rack     32-host rack: echo on every host + sharded control plane")
         print("  chaos    deterministic fault injection with invariant checks")
+        print("  overload surge sweep: goodput collapse vs recovery with retry budgets")
         return 0
     if argv[0] == "report":
         from .obs.cli import main_report
@@ -80,6 +85,10 @@ def main(argv=None) -> int:
         from .faults.chaos import main_chaos
 
         return main_chaos(argv[1:])
+    if argv[0] == "overload":
+        from .experiments.overload import main_overload
+
+        return main_overload(argv[1:])
     if argv == ["all"]:
         runner.main()
         return 0

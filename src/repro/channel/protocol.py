@@ -126,6 +126,16 @@ class ChannelSender:
         """Free slots according to the locally cached consumed counter."""
         return self._slots - (self.next_seq - self._cached_consumed)
 
+    @property
+    def occupancy_cached(self) -> float:
+        """Ring occupancy in [0, 1] by the locally cached consumed counter.
+
+        Zero-cost (no counter refresh): a conservative overestimate, which
+        is the right bias for admission control reading it as a congestion
+        signal -- the ring can only be emptier than the cache believes.
+        """
+        return (self.next_seq - self._cached_consumed) / self._slots
+
     def refresh_consumed(self) -> float:
         """Re-read the consumed counter from CXL (invalidate + fence + load)."""
         counter_addr = self.layout.counter_addr

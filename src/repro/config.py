@@ -36,6 +36,7 @@ __all__ = [
     "FailoverConfig",
     "TransportConfig",
     "RetryConfig",
+    "OverloadConfig",
     "HostConfig",
     "OasisConfig",
     "CACHE_LINE",
@@ -273,6 +274,73 @@ class RetryConfig:
 
 
 @dataclass(frozen=True)
+class OverloadConfig:
+    """Overload control: admission, retry budgets, breakers, brownout.
+
+    Disabled by default -- with ``enabled=False`` neither engine takes the
+    overload code paths, so every seeded replay from earlier PRs stays
+    byte-identical.  When enabled:
+
+    * frontends bound their submission queues (``admission_depth``) and run
+      CoDel-style drop-from-front on queue sojourn, so offered load beyond
+      capacity is shed early instead of growing an unbounded backlog;
+    * retries draw from a shared token-bucket *retry budget* replenished by
+      fresh traffic (``retry_budget_ratio`` tokens per fresh request), so a
+      retry storm can never exceed a configured fraction of offered load;
+    * each frontend runs a per-device *circuit breaker*
+      (closed -> open -> half-open) whose half-open probe timing is jittered
+      from a dedicated seeded substream;
+    * a brownout controller watches the fleet ``HealthView`` queue-saturation
+      gauges and tells frontends to shed background/low-priority work first.
+    """
+
+    enabled: bool = False
+    # -- bounded admission (CoDel-style drop-from-front) -------------------
+    admission_depth: int = 256          # max queued-but-unsubmitted requests
+    codel_target_ms: float = 5.0        # acceptable standing queue sojourn
+    codel_interval_ms: float = 25.0     # breach must persist this long
+    launch_window: int = 32             # in-flight cap per storage frontend
+    # -- retry budget (token bucket, shared per frontend) ------------------
+    retry_budget_ratio: float = 0.2     # tokens deposited per fresh request
+    retry_budget_min: float = 8.0       # initial tokens (cold-start retries)
+    retry_budget_cap: float = 64.0      # bucket capacity
+    # -- circuit breaker (per device behind each frontend) -----------------
+    breaker_failure_threshold: int = 8  # consecutive failures to trip open
+    breaker_open_ms: float = 50.0       # open dwell before a half-open probe
+    breaker_probe_jitter_ms: float = 5.0  # seeded jitter on the probe timer
+    # -- retry timing jitter (dedicated RNG substreams; 0 = legacy timing) -
+    retry_jitter_frac: float = 0.0      # +/- fraction of each backoff delay
+    # -- brownout (driven by HealthView queue saturation) ------------------
+    brownout_high: float = 0.85         # enter brownout at/above this
+    brownout_low: float = 0.60          # leave brownout below this
+    brownout_period_s: float = 0.005    # controller evaluation period
+
+    def validate(self) -> None:
+        if self.admission_depth < 1:
+            raise ConfigError("admission_depth must be >= 1")
+        if self.launch_window < 1:
+            raise ConfigError("launch_window must be >= 1")
+        if self.codel_target_ms <= 0 or self.codel_interval_ms <= 0:
+            raise ConfigError("CoDel target/interval must be positive")
+        if not 0 <= self.retry_budget_ratio <= 1:
+            raise ConfigError("retry_budget_ratio must be in [0, 1]")
+        if self.retry_budget_min < 0 or self.retry_budget_cap <= 0:
+            raise ConfigError("retry budget sizes must be non-negative")
+        if self.retry_budget_min > self.retry_budget_cap:
+            raise ConfigError("retry_budget_min must be <= retry_budget_cap")
+        if self.breaker_failure_threshold < 1:
+            raise ConfigError("breaker_failure_threshold must be >= 1")
+        if self.breaker_open_ms <= 0 or self.breaker_probe_jitter_ms < 0:
+            raise ConfigError("breaker timings must be positive")
+        if not 0 <= self.retry_jitter_frac < 1:
+            raise ConfigError("retry_jitter_frac must be in [0, 1)")
+        if not 0 < self.brownout_low <= self.brownout_high:
+            raise ConfigError("brownout thresholds must satisfy 0 < low <= high")
+        if self.brownout_period_s <= 0:
+            raise ConfigError("brownout_period_s must be positive")
+
+
+@dataclass(frozen=True)
 class HostConfig:
     """Per-host resource capacities used by the allocation/stranding study."""
 
@@ -297,6 +365,7 @@ class OasisConfig:
     failover: FailoverConfig = field(default_factory=FailoverConfig)
     transport: TransportConfig = field(default_factory=TransportConfig)
     retry: RetryConfig = field(default_factory=RetryConfig)
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
     host: HostConfig = field(default_factory=HostConfig)
     seed: int = 42
 
@@ -308,6 +377,7 @@ class OasisConfig:
         self.failover.validate()
         self.transport.validate()
         self.retry.validate()
+        self.overload.validate()
         self.host.validate()
         return self
 

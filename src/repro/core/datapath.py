@@ -131,6 +131,16 @@ class DoorbellChannel:
         """Messages sent but not yet drained (ring occupancy for flow depth)."""
         return len(self._visible_at)
 
+    @property
+    def occupancy_cached(self) -> float:
+        """Ring occupancy in [0, 1] as the sender's cached view sees it.
+
+        Zero-cost congestion signal for admission control: no counter
+        refresh, conservatively biased full (the ring can only be emptier
+        than the sender's cache believes).
+        """
+        return self.sender.occupancy_cached
+
     # -- receiver side ----------------------------------------------------------
 
     def bind(self, work_signal: Signal) -> None:

@@ -84,11 +84,41 @@ class NetFrontend(Driver):
     # Precomputed dispatch: None while flow tracing is disabled; rebound by
     # set_flows() when the pod enables it.
     _flows = None
+    # Overload control (same None-alias pattern): enable_overload() binds
+    # the config so the TX admission gate and brownout shedding turn on.
+    _overload = None
+    brownout_level = 0
 
     def set_flows(self, flows) -> None:
         """Bind a flow registry; hot paths keep a None-or-registry alias."""
         self.flows = flows
         self._flows = flows if flows.enabled else None
+
+    def enable_overload(self, overload_cfg, rng_factory=None) -> None:
+        """Arm the TX admission gate and brownout frame shedding."""
+        self._overload = overload_cfg
+
+    def set_brownout(self, level: int) -> None:
+        """Brownout hook: level >= 1 sheds low-priority frames first."""
+        self.brownout_level = level
+
+    @property
+    def admission_saturation(self) -> float:
+        """Worst congestion signal the brownout controller should see.
+
+        Max of TX-queue fullness vs the admission depth and the cached
+        occupancy of each backend IPC ring (zero-cost, conservatively
+        biased full).  0.0 with overload control off, so disabled pods
+        never pay for the scan.
+        """
+        if self._overload is None:
+            return 0.0
+        worst = len(self._tx_queue) / self._overload.admission_depth
+        for link in self._links.values():
+            occupancy = getattr(link.tx, "occupancy_cached", 0.0)
+            if occupancy > worst:
+                worst = occupancy
+        return worst
 
     def __init__(
         self,
@@ -124,6 +154,10 @@ class NetFrontend(Driver):
         self.tx_no_buffer = 0
         self.tx_fenced = 0
         self.resyncs = 0
+        # Overload control: frames refused at the TX admission gate.
+        self.tx_shed = 0
+        self.tx_shed_queue_full = 0
+        self.tx_shed_brownout = 0
 
     # -- wiring -----------------------------------------------------------------
 
@@ -172,6 +206,14 @@ class NetFrontend(Driver):
         record = self._records.get(instance.ip)
         if record is None:
             raise AllocationError(f"instance {instance.name} not registered")
+        if (self._overload is not None and self.brownout_level
+                and frame.meta and frame.meta.get("prio", 1) < 1):
+            # Brownout: low-priority frames are shed before buying a buffer,
+            # keeping the TX area and queue for foreground traffic.
+            self.tx_shed += 1
+            self.tx_shed_brownout += 1
+            record.tx_dropped += 1
+            return
         # The instance's network stack fills the Ethernet header.
         frame.src_mac = record.current_mac
         if frame.dst_mac == 0:
@@ -196,6 +238,19 @@ class NetFrontend(Driver):
                             len(data), frame.wire_size)
 
     def _ipc_tx_arrive(self, ip: int, region: Region, packed: int, wire: int) -> None:
+        if (self._overload is not None
+                and len(self._tx_queue) >= self._overload.admission_depth):
+            # Bounded admission: the frontend queue is standing-room only,
+            # so shed this frame instead of growing an unbounded backlog.
+            self.tx_shed += 1
+            self.tx_shed_queue_full += 1
+            if self._flows is not None:
+                self._flows.pop(region.base)
+            record = self._records.get(ip)
+            if record is not None:
+                record.tx_area.free(region)
+                record.tx_dropped += 1
+            return
         flows = self._flows
         if flows is not None:
             flow = flows.peek(region.base)

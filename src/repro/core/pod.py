@@ -106,6 +106,13 @@ class CXLPod:
         # Fleet health pipeline (streaming utilization/stranding/alerts):
         # built lazily by enable_fleet_telemetry(), None while off.
         self.fleet = None
+        # Overload control (bounded admission, retry budgets, breakers,
+        # brownout): armed by enable_overload_control(), off by default so
+        # existing runs replay byte-identically.
+        self.brownout = None
+        self._overload_on = False
+        self._overload_cfg = None
+        self._load_sources: list = []
         self.allocator.tracer = self.tracer
         bindings.bind_pool(self.metrics, self.pool)
         bindings.bind_scraper(self.metrics, self.scraper)
@@ -139,6 +146,14 @@ class CXLPod:
         component.set_flows(self.flows)
         self._flowed.append(component)
 
+    def _arm_overload(self, component, brownout_target: bool = False) -> None:
+        """Late-join hook: thread overload control into a new driver."""
+        if not self._overload_on:
+            return
+        component.enable_overload(self._overload_cfg, self.rng)
+        if brownout_target and self.brownout is not None:
+            self.brownout.register(component)
+
     # -- topology ------------------------------------------------------------------
 
     def add_host(self, name: Optional[str] = None) -> Host:
@@ -170,6 +185,7 @@ class CXLPod:
         bindings.bind_cache(self.metrics, host.local.cache, host.name,
                             domain="ddr")
         bindings.bind_driver(self.metrics, frontend)
+        self._arm_overload(frontend, brownout_target=True)
 
         # Connect the new frontend to every existing backend (oasis mode).
         if self.mode == "oasis":
@@ -208,6 +224,7 @@ class CXLPod:
         self._bind_flows(backend)
         bindings.bind_nic(self.metrics, nic)
         bindings.bind_driver(self.metrics, backend)
+        self._arm_overload(backend)
         self.backends[nic.name] = backend
         self.allocator.register_backend(backend, self.config.nic.bandwidth_gbps,
                                         is_backup=is_backup)
@@ -330,6 +347,7 @@ class CXLPod:
             frontend.control = AllocatorClient(self.sim, self.allocator)
             frontend.start()
             bindings.bind_driver(self.metrics, frontend)
+            self._arm_overload(frontend, brownout_target=True)
             self.storage_frontends[host.name] = frontend
             self.allocator.register_storage_frontend(host.name, frontend)
         return frontend
@@ -490,6 +508,60 @@ class CXLPod:
             checker.start(interval_s)
         return checker
 
+    # -- overload control (admission, retry budgets, breakers, brownout) ------------
+
+    def enable_overload_control(self, overload=None):
+        """Arm overload control across both engines (off by default).
+
+        Threads bounded admission queues, the shared retry budget and
+        per-device circuit breakers into every storage/net frontend and
+        net backend (including ones added later), and -- once fleet
+        telemetry is on -- starts the brownout controller that sheds
+        low-priority work off the HealthView queue-saturation gauges.
+
+        ``overload`` overrides ``config.overload``; either way the config
+        is force-enabled for this pod.  Disabled pods pay only a ``None``
+        check on the hot paths, so runs without this call replay
+        byte-identically against older builds.
+        """
+        from dataclasses import replace
+
+        cfg = overload if overload is not None else self.config.overload
+        if not cfg.enabled:
+            cfg = replace(cfg, enabled=True)
+        cfg.validate()
+        self._overload_cfg = cfg
+        self._overload_on = True
+        for frontend in self.storage_frontends.values():
+            frontend.enable_overload(cfg, self.rng)
+        for frontend in self.frontends.values():
+            frontend.enable_overload(cfg, self.rng)
+        for backend in self.backends.values():
+            backend.enable_overload(cfg, self.rng)
+        self._start_brownout()
+        return cfg
+
+    def _start_brownout(self) -> None:
+        """Start the saturation-driven brownout loop (needs fleet health)."""
+        if not self._overload_on or self.fleet is None or self.brownout is not None:
+            return
+        from ..overload import BrownoutController
+
+        cfg = self._overload_cfg
+        self.brownout = BrownoutController(
+            self.sim, self.fleet.view(),
+            high=cfg.brownout_high, low=cfg.brownout_low,
+            period_s=cfg.brownout_period_s)
+        for frontend in self.storage_frontends.values():
+            self.brownout.register(frontend)
+        for frontend in self.frontends.values():
+            self.brownout.register(frontend)
+        self.brownout.start()
+
+    def register_load_source(self, client) -> None:
+        """Register an open-loop generator as an ``overload.surge`` target."""
+        self._load_sources.append(client)
+
     # -- observability -----------------------------------------------------------------------
 
     def enable_tracing(self, max_events: int = 2_000_000,
@@ -554,6 +626,7 @@ class CXLPod:
         )
         self.scraper.subscribe(self.fleet.ingest)
         self.start_telemetry(period_s)
+        self._start_brownout()
         return self.fleet
 
     # -- running -----------------------------------------------------------------------------
@@ -584,6 +657,8 @@ class CXLPod:
             backend.stop_monitors()
         for frontend in self.frontends.values():
             frontend.stop_monitors()
+        if self.brownout is not None:
+            self.brownout.stop()
         self.allocator.stop()
 
 

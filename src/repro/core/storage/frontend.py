@@ -18,17 +18,24 @@ from ...errors import AllocationError, ChannelFullError, DeviceFailedError
 from ...host.host import Host, MemDomain
 from ...mem.layout import Region, RegionAllocator
 from ...obs.flow import NULL_FLOWS
+from ...overload import AdmissionQueue, CircuitBreaker, RetryBudget
 from ...pcie.ssd import NVME_STATUS_FAILED, NVME_STATUS_MEDIA
 from ...sim.core import MSEC, NSEC, USEC, Simulator
 from ..engine import Driver
 from .messages import (SOP_COMPLETION, SOP_READ, SOP_WRITE, STATUS_FENCED,
                        StorageMessage)
 
-__all__ = ["StorageFrontend", "VirtualBlockDevice", "STATUS_TIMEOUT"]
+__all__ = ["StorageFrontend", "VirtualBlockDevice", "STATUS_TIMEOUT",
+           "STATUS_SHED"]
 
 #: Synthetic status for a request the frontend gave up on after its
 #: per-attempt deadline expired repeatedly (no NVMe completion ever came).
 STATUS_TIMEOUT = 0xFE
+
+#: Synthetic status for a request shed by overload control (admission queue
+#: full, CoDel sojourn drop, open circuit breaker, or brownout).  The
+#: request never reached the device; the instance hears back immediately.
+STATUS_SHED = 0xFC
 
 #: Statuses worth retrying: the device is still there, the command failed.
 _TRANSIENT_STATUSES = frozenset({NVME_STATUS_MEDIA, NVME_STATUS_FAILED})
@@ -45,15 +52,22 @@ class VirtualBlockDevice:
         self.block_size = block_size
 
     def read(self, lba: int, nblocks: int,
-             callback: Callable[[int, bytes], None], flow=None) -> int:
-        """Async read; ``callback(status, data)`` fires on completion."""
+             callback: Callable[[int, bytes], None], flow=None,
+             background: bool = False) -> int:
+        """Async read; ``callback(status, data)`` fires on completion.
+
+        ``background=True`` marks shed-first work (read-ahead, scrubbing):
+        under brownout the frontend drops it before any foreground request.
+        """
         return self.frontend.submit_read(self, lba, nblocks, callback,
-                                         flow=flow)
+                                         flow=flow, background=background)
 
     def write(self, lba: int, data: bytes,
-              callback: Callable[[int], None], flow=None) -> int:
+              callback: Callable[[int], None], flow=None,
+              background: bool = False) -> int:
         """Async write; ``callback(status)`` fires on completion."""
-        return self.frontend.submit_write(self, lba, data, callback, flow=flow)
+        return self.frontend.submit_write(self, lba, data, callback,
+                                          flow=flow, background=background)
 
 
 class StorageFrontend(Driver):
@@ -64,6 +78,11 @@ class StorageFrontend(Driver):
     # Precomputed dispatch: None while flow tracing is disabled; rebound by
     # set_flows() when the pod enables it.
     _flows = None
+    # Same pattern for overload control: None until enable_overload() binds
+    # the admission queue, so disabled runs take the legacy paths unchanged.
+    _overload = None
+    _retry_rng = None
+    brownout_level = 0
 
     def set_flows(self, flows) -> None:
         """Bind a flow registry; hot paths keep a None-or-registry alias."""
@@ -85,8 +104,21 @@ class StorageFrontend(Driver):
         self._links: Dict[str, object] = {}        # backend name -> ChannelPair endpoints
         self._pending: Dict[int, dict] = {}        # cid -> request state
         self._next_cid = 1
+        self.submitted = 0
         self.completed_ok = 0
         self.completed_error = 0
+        # Overload control (off by default): requests shed before reaching
+        # the device, by reason.  Conservation under shedding:
+        # submitted == completed + in_flight + shed + gave_up.
+        self.shed = 0
+        self.shed_queue_full = 0
+        self.shed_sojourn = 0
+        self.shed_breaker = 0
+        self.shed_brownout = 0
+        self.retry_budget_denied = 0
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._launched = 0
+        self._pumping = False
         # Fault tolerance (§ graceful degradation): transient device errors
         # and lost completions are retried with exponential backoff before
         # the error is surfaced to the instance.
@@ -110,6 +142,117 @@ class StorageFrontend(Driver):
         if backend_name not in self._links:
             raise AllocationError(f"no storage backend link {backend_name}")
         return VirtualBlockDevice(self, instance, backend_name, block_size)
+
+    # -- overload control: admission, retry budget, breakers, brownout -----
+
+    def enable_overload(self, overload_cfg, rng_factory) -> None:
+        """Arm admission control, the retry budget and per-device breakers.
+
+        ``rng_factory`` supplies dedicated substreams for breaker probe
+        jitter and (optional) retry backoff jitter -- workload RNG streams
+        are never touched, so enabling overload control cannot perturb
+        arrival processes.
+        """
+        self._ovl_cfg = overload_cfg
+        self._ovl_rng = rng_factory
+        self._admission = AdmissionQueue(
+            overload_cfg.admission_depth,
+            overload_cfg.codel_target_ms * 1e-3,
+            overload_cfg.codel_interval_ms * 1e-3)
+        self._budget = RetryBudget(
+            overload_cfg.retry_budget_ratio,
+            overload_cfg.retry_budget_min,
+            overload_cfg.retry_budget_cap)
+        if overload_cfg.retry_jitter_frac > 0:
+            self._retry_rng = rng_factory.get(f"overload/{self.name}/retry")
+        self._overload = self._admission    # non-None alias gates hot paths
+
+    def set_brownout(self, level: int) -> None:
+        """Brownout hook: level >= 1 sheds background I/O at admission."""
+        self.brownout_level = level
+
+    @property
+    def admission_saturation(self) -> float:
+        """Admission-queue fullness in [0, 1] (0.0 with overload off)."""
+        if self._overload is None:
+            return 0.0
+        return len(self._admission) / self._ovl_cfg.admission_depth
+
+    @property
+    def breaker_trips(self) -> int:
+        return sum(b.trips for b in self._breakers.values())
+
+    @property
+    def breakers_open(self) -> int:
+        return sum(1 for b in self._breakers.values() if b.state != "closed")
+
+    def _breaker_for(self, backend_name: str) -> CircuitBreaker:
+        breaker = self._breakers.get(backend_name)
+        if breaker is None:
+            cfg = self._ovl_cfg
+            breaker = CircuitBreaker(
+                cfg.breaker_failure_threshold,
+                cfg.breaker_open_ms * 1e-3,
+                cfg.breaker_probe_jitter_ms * 1e-3,
+                rng=self._ovl_rng.get(
+                    f"overload/{self.name}/breaker/{backend_name}"),
+                name=backend_name)
+            self._breakers[backend_name] = breaker
+        return breaker
+
+    def _admit(self, cid: int, message: StorageMessage) -> None:
+        """Overload-mode entry: request arrives at the admission queue."""
+        state = self._pending.get(cid)
+        if state is None:
+            return
+        if self.brownout_level and state["background"]:
+            self._shed(cid, state, "brownout")
+            return
+        if not self._admission.push(self.sim.now, (cid, message)):
+            self._shed(cid, state, "queue_full")
+            return
+        self._pump()
+
+    def _pump(self) -> None:
+        """Launch admitted requests while the device window has room."""
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            while self._launched < self._ovl_cfg.launch_window:
+                item, dropped = self._admission.pop(self.sim.now)
+                for drop_cid, _msg in dropped:
+                    drop_state = self._pending.get(drop_cid)
+                    if drop_state is not None:
+                        self._shed(drop_cid, drop_state, "sojourn")
+                if item is None:
+                    return
+                cid, message = item
+                state = self._pending.get(cid)
+                if state is None:
+                    continue
+                if not self._breaker_for(state["backend"]).allow(self.sim.now):
+                    self._shed(cid, state, "breaker")
+                    continue
+                state["launched"] = True
+                self._launched += 1
+                self._enqueue(state["backend"], message)
+                self._arm_timeout(cid)
+        finally:
+            self._pumping = False
+
+    def _shed(self, cid: int, state: dict, reason: str) -> None:
+        """Refuse a request before the device sees it (load shedding)."""
+        self.shed += 1
+        if reason == "queue_full":
+            self.shed_queue_full += 1
+        elif reason == "sojourn":
+            self.shed_sojourn += 1
+        elif reason == "breaker":
+            self.shed_breaker += 1
+        else:
+            self.shed_brownout += 1
+        self._retire(cid, state, STATUS_SHED, b"")
 
     # -- fencing epochs (§3.3.3) --------------------------------------------------
 
@@ -139,7 +282,8 @@ class StorageFrontend(Driver):
         return cid
 
     def submit_write(self, device: VirtualBlockDevice, lba: int, data: bytes,
-                     callback: Callable[[int], None], flow=None) -> int:
+                     callback: Callable[[int], None], flow=None,
+                     background: bool = False) -> int:
         if len(data) % device.block_size:
             raise AllocationError("write size must be a multiple of block size")
         nlb = len(data) // device.block_size
@@ -152,22 +296,30 @@ class StorageFrontend(Driver):
                                                  category="payload")
         cid = self._alloc_cid()
         ip = device.instance.ip if device.instance else 0
+        self.submitted += 1
         self._pending[cid] = {
             "op": SOP_WRITE, "region": region, "callback": callback,
             "nbytes": len(data), "backend": device.backend_name,
             "lba": lba, "nlb": nlb, "ip": ip, "retries": 0, "attempt": 0,
+            "background": background,
         }
         message = StorageMessage(SOP_WRITE, cid, lba, nlb, region.base, ip,
                                  epoch=self._stamp_for(device.backend_name, ip))
-        self.sim.schedule(
-            self.config.datapath.ipc_hop_us * USEC + store_ns * NSEC,
-            self._enqueue, device.backend_name, message,
-        )
-        self._arm_timeout(cid)
+        delay = self.config.datapath.ipc_hop_us * USEC + store_ns * NSEC
+        if self._overload is None:
+            self.sim.schedule(delay, self._enqueue, device.backend_name,
+                              message)
+            self._arm_timeout(cid)
+        else:
+            # Fresh traffic funds the retry budget; launch goes through the
+            # admission queue (the timeout is armed at launch, not here).
+            self._budget.deposit()
+            self.sim.schedule(delay, self._admit, cid, message)
         return cid
 
     def submit_read(self, device: VirtualBlockDevice, lba: int, nblocks: int,
-                    callback: Callable[[int, bytes], None], flow=None) -> int:
+                    callback: Callable[[int, bytes], None], flow=None,
+                    background: bool = False) -> int:
         region = self._space.alloc(nblocks * device.block_size, "rbuf")
         if flow is not None:
             flow.stage("sfe.submit", depth=len(self._pending))
@@ -181,16 +333,23 @@ class StorageFrontend(Driver):
                                         category="payload")
         cid = self._alloc_cid()
         ip = device.instance.ip if device.instance else 0
+        self.submitted += 1
         self._pending[cid] = {
             "op": SOP_READ, "region": region, "callback": callback,
             "nbytes": nblocks * device.block_size, "backend": device.backend_name,
             "lba": lba, "nlb": nblocks, "ip": ip, "retries": 0, "attempt": 0,
+            "background": background,
         }
         message = StorageMessage(SOP_READ, cid, lba, nblocks, region.base, ip,
                                  epoch=self._stamp_for(device.backend_name, ip))
-        self.sim.schedule(self.config.datapath.ipc_hop_us * USEC,
-                          self._enqueue, device.backend_name, message)
-        self._arm_timeout(cid)
+        delay = self.config.datapath.ipc_hop_us * USEC
+        if self._overload is None:
+            self.sim.schedule(delay, self._enqueue, device.backend_name,
+                              message)
+            self._arm_timeout(cid)
+        else:
+            self._budget.deposit()
+            self.sim.schedule(delay, self._admit, cid, message)
         return cid
 
     def _enqueue(self, backend_name: str, message: StorageMessage) -> None:
@@ -242,7 +401,15 @@ class StorageFrontend(Driver):
         if state is None or state["attempt"] != attempt:
             return   # completed, or already retried: the deadline is stale
         self.timeouts += 1
+        if self._overload is not None:
+            self._breaker_for(state["backend"]).record_failure(self.sim.now)
         if state["retries"] >= self.config.retry.storage_max_retries:
+            self.giveups += 1
+            self._finish(cid, state, STATUS_TIMEOUT, b"")
+            return
+        if self._overload is not None and not self._budget.try_spend():
+            # Retry budget exhausted: fail fast instead of feeding the storm.
+            self.retry_budget_denied += 1
             self.giveups += 1
             self._finish(cid, state, STATUS_TIMEOUT, b"")
             return
@@ -258,6 +425,11 @@ class StorageFrontend(Driver):
         backoff = (self.config.retry.storage_backoff_ms
                    * self.config.retry.storage_backoff_mult
                    ** (state["retries"] - 1))
+        if self._retry_rng is not None:
+            # Jitter comes from a dedicated substream (overload/<name>/retry)
+            # so it can never perturb workload RNG draws.
+            frac = self._ovl_cfg.retry_jitter_frac
+            backoff *= 1.0 + frac * float(self._retry_rng.uniform(-1.0, 1.0))
         self.sim.schedule(backoff * MSEC, self._resubmit, cid)
 
     def _resubmit(self, cid: int) -> None:
@@ -293,10 +465,18 @@ class StorageFrontend(Driver):
             self.giveups += 1
             self._finish(message.cid, state, STATUS_FENCED, b"")
             return self.ITEM_NS
+        if self._overload is not None:
+            breaker = self._breaker_for(state["backend"])
+            if message.status == 0:
+                breaker.record_success(self.sim.now)
+            elif message.status in _TRANSIENT_STATUSES:
+                breaker.record_failure(self.sim.now)
         if message.status in _TRANSIENT_STATUSES:
             if state["retries"] < self.config.retry.storage_max_retries:
-                self._schedule_retry(message.cid, state)
-                return self.ITEM_NS
+                if self._overload is None or self._budget.try_spend():
+                    self._schedule_retry(message.cid, state)
+                    return self.ITEM_NS
+                self.retry_budget_denied += 1
             self.giveups += 1
         cost = self.ITEM_NS
         region: Region = state["region"]
@@ -313,8 +493,18 @@ class StorageFrontend(Driver):
         return cost
 
     def _finish(self, cid: int, state: dict, status: int, data: bytes) -> None:
-        """Retire a request: release its buffer and call the instance back."""
+        """Retire a served request and count it completed (ok or error)."""
+        if status == 0:
+            self.completed_ok += 1
+        else:
+            self.completed_error += 1
+        self._retire(cid, state, status, data)
+
+    def _retire(self, cid: int, state: dict, status: int, data: bytes) -> None:
+        """Release a request's buffer and call the instance back."""
         self._pending.pop(cid, None)
+        if state.pop("launched", False):
+            self._launched -= 1
         region: Region = state["region"]
         if self._flows is not None:
             # Pop: the buffer region is freed below and will be recycled.
@@ -322,16 +512,14 @@ class StorageFrontend(Driver):
             if flow is not None:
                 flow.stage("sfe.comp")
         self._space.free(region)
-        if status == 0:
-            self.completed_ok += 1
-        else:
-            self.completed_error += 1
         callback = state["callback"]
         ipc = self.config.datapath.ipc_hop_us * USEC
         if state["op"] == SOP_READ:
             self.sim.schedule(ipc, callback, status, data)
         else:
             self.sim.schedule(ipc, callback, status)
+        if self._overload is not None and len(self._admission):
+            self._pump()    # a freed window slot launches the next request
 
     @property
     def inflight(self) -> int:

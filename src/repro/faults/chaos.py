@@ -50,6 +50,8 @@ DEFAULT_PLAN = {
          "params": {"count": 1}},
         {"kind": "switch.port_down", "target": "nic-h0", "at": 0.30,
          "duration": 0.10},
+        {"kind": "overload.surge", "window": [0.10, 0.20],
+         "duration": 0.08, "params": {"factor": 1.6}},
     ],
 }
 
@@ -100,6 +102,8 @@ def build_chaos_pod(seed: int):
                       poisson=True, metrics=pod.metrics, flows=pod.flows)
     blockio = BlockWorkload(pod.sim, device, rate_iops=1500.0,
                             rng=pod.rng.get("chaos/blockio"), flows=pod.flows)
+    # The block workload doubles as the overload.surge fault's target.
+    pod.register_load_source(blockio)
     # Control plane under test too: replicated allocator + lease sweeping.
     pod.enable_raft(replicas=3)
     pod.allocator.start_lease_sweeper()
@@ -201,6 +205,18 @@ def _recovery_counters(pod) -> dict:
         counters[f"{frontend.name}.resyncs"] = frontend.resyncs
     for frontend in pod.storage_frontends.values():
         counters[f"{frontend.name}.fenced"] = frontend.fenced
+    # Overload control: load shedding, retry budgets and breaker activity
+    # (all zero unless enable_overload_control() armed the pod).
+    for frontend in pod.storage_frontends.values():
+        counters[f"{frontend.name}.shed"] = frontend.shed
+        counters[f"{frontend.name}.retry_budget_denied"] = (
+            frontend.retry_budget_denied)
+        counters[f"{frontend.name}.breaker_trips"] = frontend.breaker_trips
+    for frontend in pod.frontends.values():
+        counters[f"{frontend.name}.tx_shed"] = frontend.tx_shed
+    for backend in pod.backends.values():
+        counters[f"{backend.name}.retry_budget_denied"] = (
+            backend.retry_budget_denied)
     allocator = pod.allocator
     counters["allocator.pending_commands"] = allocator.pending_commands
     counters["allocator.duplicate_reports"] = allocator.duplicate_reports

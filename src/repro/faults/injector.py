@@ -326,3 +326,30 @@ class FaultInjector:
         for _ in range(count):
             self.pod.allocator.on_failure_report(nic.name)
         self._record("inject", spec.kind, nic.name, f"count={count}")
+
+    # Overload ---------------------------------------------------------------
+
+    def _apply_overload_surge(self, spec) -> None:
+        """Multiply every registered open-loop source's arrival rate.
+
+        Drives offered load past capacity for ``duration`` seconds; the
+        sources keep queueing arrivals independently of completions, so
+        whether the pod sheds or collapses is entirely up to its (enabled
+        or disabled) overload control.
+        """
+        factor = float(spec.params.get("factor", 1.5))
+        sources = list(getattr(self.pod, "_load_sources", []))
+        if not sources:
+            self._record("inject", spec.kind, "*", "no-load-sources")
+            return
+        for source in sources:
+            source.set_rate_multiplier(factor)
+        self._record("inject", spec.kind, "*",
+                     f"x{factor} sources={len(sources)}")
+        self._schedule_recovery(spec, self._recover_overload_surge,
+                                spec.kind, sources)
+
+    def _recover_overload_surge(self, kind: str, sources) -> None:
+        for source in sources:
+            source.set_rate_multiplier(1.0)
+        self._record("recover", kind, "*")

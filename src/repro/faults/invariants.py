@@ -8,6 +8,10 @@ run and at the end, the properties that must survive *any* fault schedule:
   completion: everything posted to a NIC TX ring or SSD submission queue
   completes exactly once (possibly with an error status), and nothing
   completes that was never posted;
+* **shed conservation** -- with overload control armed, load shedding may
+  *refuse* work but never lose or double-count it: at every storage
+  frontend, ``submitted == completed + in_flight + shed + gave_up``
+  (give-ups are folded into the error completions);
 * **ring bounds** -- no ring ever exceeds its depth, completions never
   outrun posts;
 * **buffer conservation** -- RX buffer pools satisfy
@@ -264,6 +268,7 @@ class InvariantChecker:
                     f"posts",
                 )
                 self._stale_seen[backend.name] = current
+        self._check_shed_conservation()
         if pod.flows.enabled:
             records = pod.flows.records
             new = records[self._flow_checked:]
@@ -276,6 +281,29 @@ class InvariantChecker:
                         "flow-conservation",
                         f"{record.kind} flow: segments off by {err * 1e9:.1f} ns",
                     )
+
+    def _check_shed_conservation(self) -> None:
+        """Every submitted storage request is accounted for exactly once.
+
+        With load shedding a request may end shed instead of completed, but
+        the books must still balance:
+        ``submitted == completed + in_flight + shed + gave_up`` where
+        completed splits into ok and error and the give-ups are a subset of
+        the error completions -- so the closed form checked here is
+        ``submitted == completed_ok + completed_error + shed + pending``.
+        """
+        for frontend in self.pod.storage_frontends.values():
+            self._checked("shed-conservation")
+            accounted = (frontend.completed_ok + frontend.completed_error
+                         + frontend.shed + len(frontend._pending))
+            if frontend.submitted != accounted:
+                self.violate(
+                    "shed-conservation",
+                    f"{frontend.name}: submitted {frontend.submitted} != "
+                    f"{frontend.completed_ok} ok + "
+                    f"{frontend.completed_error} err + {frontend.shed} shed "
+                    f"+ {len(frontend._pending)} in flight",
+                )
 
     # -- final evaluation ------------------------------------------------------
 

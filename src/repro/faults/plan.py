@@ -39,6 +39,7 @@ FAULT_KINDS: Dict[str, str] = {
     "notify.delay": "host (frontend whose notifications lag)",
     "notify.drop": "host (frontend losing the next notification(s))",
     "report.duplicate": "nic (re-deliver its failure report)",
+    "overload.surge": "ignored (every registered open-loop load source)",
 }
 
 #: Kinds that model one-shot events: ``duration`` makes no sense for them.

@@ -245,6 +245,10 @@ _DRIVER_EXTRA_FIELDS = (
     "retries", "timeouts", "giveups", "completed_ok", "completed_error",
     # epoch fencing (§3.3.3): rejections at backends, recoveries at frontends
     "fence_rejects", "stale_accepted", "tx_fenced", "resyncs", "fenced",
+    # overload control: admission/shedding, retry budgets, circuit breakers
+    "submitted", "shed", "shed_queue_full", "shed_sojourn", "shed_breaker",
+    "shed_brownout", "retry_budget_denied", "breaker_trips", "breakers_open",
+    "tx_shed", "tx_shed_queue_full", "tx_shed_brownout", "brownout_level",
 )
 
 

@@ -331,6 +331,17 @@ DEFAULT_ALERT_RULES: Tuple[AlertRule, ...] = (
               help=">10 lease expirations/s for 200 ms"),
     AlertRule("slo_burn", "slo_burn", 0.5, for_s=0.200, clear_below=0.25,
               help="SLO violated on >50% of recent scrape ticks"),
+    # Overload control (PR 9): sustained load shedding, a starved retry
+    # budget, or a frontend dropped into brownout are all pod-health events.
+    AlertRule("overload_shedding", "shed_rate", 100.0, for_s=0.050,
+              clear_below=10.0,
+              help="frontend shedding >100 requests/s for 50 ms"),
+    AlertRule("overload_retry_denied", "retry_denied_rate", 50.0,
+              for_s=0.050, clear_below=5.0,
+              help="retry budget denying >50 retries/s for 50 ms"),
+    AlertRule("overload_brownout", "brownout", 1.0, for_s=0.0,
+              clear_below=1.0,
+              help="frontend in brownout: low-priority work is being shed"),
 )
 
 
@@ -517,6 +528,7 @@ class FleetHealth:
         self._ingest_queues(t, snapshot)
         self._ingest_pools(t, snapshot)
         self._ingest_control(t, dt, delta)
+        self._ingest_overload(t, dt, snapshot, delta)
         self._ingest_slo(t)
         self.alerts.evaluate(t, {key: series.last
                                  for key, series in self.gauges.items()})
@@ -596,6 +608,31 @@ class FleetHealth:
         expiries = delta.aggregate("allocator_events", by=("event",)).get(
             ("lease_expiry",), 0.0)
         self._observe("lease_expiry_rate", "pod", t, expiries / dt)
+
+    def _ingest_overload(self, t: float, dt: float, snapshot, delta) -> None:
+        """Overload-control gauges off the driver counters (PR 9).
+
+        ``shed_rate``/``retry_denied_rate`` are per-second rates from the
+        shed and budget-denial counter deltas; ``brownout`` is the level
+        itself (0/1) straight from the snapshot.  All zero -- and alert-
+        silent -- unless the pod armed ``enable_overload_control()``.
+        """
+        ops = delta.aggregate("driver_ops", by=("driver", "op"))
+        shed: Dict[str, float] = {}
+        denied: Dict[str, float] = {}
+        for (driver, op), count in ops.items():
+            if op in ("shed", "tx_shed"):
+                shed[driver] = shed.get(driver, 0.0) + count
+            elif op == "retry_budget_denied":
+                denied[driver] = denied.get(driver, 0.0) + count
+        for driver, count in sorted(shed.items()):
+            self._observe("shed_rate", driver, t, count / dt)
+        for driver, count in sorted(denied.items()):
+            self._observe("retry_denied_rate", driver, t, count / dt)
+        levels = snapshot.aggregate("driver_ops", by=("driver", "op"))
+        for (driver, op), level in sorted(levels.items()):
+            if op == "brownout_level":
+                self._observe("brownout", driver, t, level)
 
     def _ingest_slo(self, t: float) -> None:
         if self.slo is None or self.flows is None:

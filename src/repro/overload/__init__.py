@@ -1,0 +1,31 @@
+"""Overload control for the pooled datapaths.
+
+Oasis shares pooled NICs and SSDs across hosts, so one overloaded tenant
+can collapse goodput for every host on the pool.  This package supplies the
+building blocks both engine frontends thread in when
+``OasisConfig.overload.enabled`` is set:
+
+* :class:`~repro.overload.budget.RetryBudget` -- a token bucket replenished
+  by fresh traffic, so retries can never exceed a configured fraction of
+  offered load (the anti-retry-storm budget).
+* :class:`~repro.overload.breaker.CircuitBreaker` -- a per-device
+  closed -> open -> half-open state machine with seeded probe jitter.
+* :class:`~repro.overload.admission.AdmissionQueue` -- a bounded admission
+  queue with CoDel-style sojourn-based drop-from-front.
+* :class:`~repro.overload.brownout.BrownoutController` -- watches the fleet
+  ``HealthView`` queue-saturation gauges and tells frontends to shed
+  background/low-priority work first (graceful brownout).
+
+Everything here is deterministic: the only randomness (breaker probe
+jitter, optional retry backoff jitter) comes from dedicated
+:class:`~repro.sim.rng.RngFactory` substreams, so overload control never
+perturbs workload RNG draws and whole runs replay byte-identically.
+"""
+
+from .admission import AdmissionQueue
+from .breaker import CircuitBreaker
+from .brownout import BrownoutController
+from .budget import RetryBudget
+
+__all__ = ["AdmissionQueue", "CircuitBreaker", "BrownoutController",
+           "RetryBudget"]

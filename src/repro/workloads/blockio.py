@@ -62,6 +62,7 @@ class BlockWorkload:
         self.sim = sim
         self.device = device
         self.rate_iops = rate_iops
+        self.rate_mult = 1.0            # overload.surge fault hook
         self.read_fraction = read_fraction
         self.io_blocks = io_blocks
         self.address_blocks = address_blocks
@@ -81,6 +82,14 @@ class BlockWorkload:
     def _stop(self) -> None:
         self._stopped = True
 
+    def set_rate_multiplier(self, factor: float) -> None:
+        """Multiplicative surge hook (the ``overload.surge`` fault).
+
+        At the default 1.0 the arrival draw is bit-identical to the
+        unmultiplied one, so un-surged runs replay byte-identically.
+        """
+        self.rate_mult = factor
+
     @property
     def inflight(self) -> int:
         return self._inflight
@@ -88,7 +97,8 @@ class BlockWorkload:
     def _issue_one(self) -> None:
         if self._stopped:
             return
-        self.sim.schedule(float(self.rng.exponential(1.0 / self.rate_iops)),
+        rate = self.rate_iops * self.rate_mult
+        self.sim.schedule(float(self.rng.exponential(1.0 / rate)),
                           self._issue_one)
         if self._inflight >= self.queue_depth:
             return   # open-loop drop: queue-depth cap reached

@@ -24,6 +24,7 @@ from repro.errors import AllocationError
 from repro.faults import FaultPlan
 from repro.net.packet import make_ip
 from repro.workloads.echo import EchoClient, EchoServer
+from repro.workloads.openloop import OpenLoopBlockClient
 
 MAX_EXAMPLES = int(os.environ.get("CHAOS_MAX_EXAMPLES", "25"))
 
@@ -36,6 +37,7 @@ Op = st.one_of(
     st.tuples(st.just("wb_loss"), st.integers(0, 3)),      # host index
     st.tuples(st.just("ssd_media"), st.integers(1, 2)),    # armed count
     st.tuples(st.just("switch_drop"), st.integers(1, 2)),  # armed count
+    st.tuples(st.just("overload_surge"), st.integers(12, 20)),  # x0.1 factor
     st.tuples(st.just("advance"), st.integers(1, 30)),     # x10 ms
     # Control-plane faults: crash the allocator leader (it restarts 200 ms
     # later), delay one host's notifications, renew leases, or re-deliver a
@@ -96,6 +98,43 @@ def settle(pod, rounds=12):
         pod.run(0.25)
 
 
+def apply_overload_surge(pod, hosts, ssd, arg):
+    """``overload.surge`` from the chaos alphabet: lazily attach an
+    open-loop block client to the pooled SSD on first use, then multiply
+    its offered rate by ``arg / 10`` for 50 ms (the fault's shape)."""
+    client = getattr(pod, "_chaos_openloop", None)
+    if client is None:
+        try:
+            inst = pod.add_instance(hosts[0], ip=make_ip(10, 0, 7, 7))
+        except AllocationError:
+            return   # no healthy NIC to place the instance: surge is moot
+        device = pod.add_block_device(inst, ssd)
+        client = OpenLoopBlockClient(
+            pod.sim, device, rate_iops=2000.0,
+            rng=pod.rng.get("chaos/openloop"), name="chaos-openloop")
+        pod.register_load_source(client)
+        client.start(10.0)
+        pod._chaos_openloop = client
+    factor = arg / 10.0
+    for source in pod._load_sources:
+        source.set_rate_multiplier(factor)
+
+    def recover():
+        for source in pod._load_sources:
+            source.set_rate_multiplier(1.0)
+
+    pod.sim.schedule(0.05, recover)
+
+
+def assert_shed_conservation(pod):
+    """Nothing vanishes at a storage frontend: every submission is an ok
+    completion, an error completion, a shed, or still pending."""
+    for frontend in pod.storage_frontends.values():
+        accounted = (frontend.completed_ok + frontend.completed_error
+                     + frontend.shed + len(frontend._pending))
+        assert frontend.submitted == accounted, frontend.name
+
+
 def apply_data_plane_fault(pod, hosts, ssd, op, arg):
     """Shared handler for the data-plane ops in the alphabet."""
     if op == "link_spike":
@@ -146,12 +185,15 @@ class TestControlPlaneChaos:
                 pod.allocator.rebalance_once()
             elif op in ("link_spike", "wb_loss", "ssd_media", "switch_drop"):
                 apply_data_plane_fault(pod, hosts, ssd, op, arg)
+            elif op == "overload_surge":
+                apply_overload_surge(pod, hosts, ssd, arg)
             elif op in CONTROL_OPS:
                 apply_control_plane_fault(pod, hosts, nics, op, arg)
             elif op == "advance":
                 pod.run(arg * 0.01)
         pod.run(0.3)   # let any in-flight failover settle
         settle(pod)    # ...and the replicated command queue drain
+        assert_shed_conservation(pod)
 
         allocator = pod.allocator
         # 1. Every launched instance is assigned to a non-failed device
@@ -194,12 +236,15 @@ class TestControlPlaneChaos:
                     nic.fail()
             elif op in ("link_spike", "wb_loss", "ssd_media", "switch_drop"):
                 apply_data_plane_fault(pod, hosts, ssd, op, arg)
+            elif op == "overload_surge":
+                apply_overload_surge(pod, hosts, ssd, arg)
             elif op == "advance":
                 pod.run(arg * 0.01)
             elif op == "rebalance":
                 pod.allocator.rebalance_once()
         pod.run(0.3)
         settle(pod)   # drain any commit-gated failover before measuring
+        assert_shed_conservation(pod)
         client = pod.add_external_client(ip=make_ip(10, 0, 9, 1))
         echo = EchoClient(pod.sim, client, ip, rate_pps=2000)
         # Faults armed during the op phase but not yet consumed will eat

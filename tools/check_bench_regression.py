@@ -3,7 +3,7 @@
 
 Usage::
 
-    python tools/check_bench_regression.py BENCH_pr8.json \
+    python tools/check_bench_regression.py BENCH_pr9.json \
         [--baseline benchmarks/baseline_sim_speed.json] [--tolerance 0.2]
 
 Reads the ``sim_speed`` entry that ``benchmarks/test_sim_speed.py`` records
@@ -32,6 +32,19 @@ floor, the group-commit ``commit_p99_ms`` (simulated time, so exact on any
 machine) must stay under the ceiling, and the control plane must have
 converged with an empty proposal queue.
 
+When the dump carries an ``overload`` entry (recorded by
+``benchmarks/test_overload.py`` or ``python -m repro overload --out``), it
+is gated against ``benchmarks/baseline_overload.json``: the budgets-on run
+must recover at least ``recovery_on_floor`` of its pre-surge goodput, the
+budgets-off ablation must stay collapsed below ``recovery_off_ceiling``
+(otherwise the scenario no longer demonstrates metastable failure), and
+surge-window goodput must stay above ``surge_goodput_frac_floor`` of
+device capacity.  All three are simulated-time ratios, so the gates are
+exact -- no tolerance band.
+
+A missing key in either the dump or a baseline is reported by name and
+exits 2 (malformed inputs), never as a raw traceback.
+
 Exit status: 0 on pass, 1 on regression, 2 on missing/malformed inputs.
 """
 
@@ -46,15 +59,34 @@ DEFAULT_BASELINE = (Path(__file__).resolve().parent.parent
                     / "benchmarks" / "baseline_sim_speed.json")
 DEFAULT_RACK_BASELINE = (Path(__file__).resolve().parent.parent
                          / "benchmarks" / "baseline_rack_scale.json")
+DEFAULT_OVERLOAD_BASELINE = (Path(__file__).resolve().parent.parent
+                             / "benchmarks" / "baseline_overload.json")
+
+
+class _MissingKey(Exception):
+    """A dump or baseline lacks a key the gate needs."""
+
+
+def _require(mapping, key, source):
+    """Fetch ``mapping[key]``, failing with a named diagnosis (exit 2)
+    instead of a bare KeyError traceback."""
+    try:
+        return mapping[key]
+    except (KeyError, TypeError):
+        raise _MissingKey(
+            f"missing key {key!r} in {source} -- regenerate the dump or "
+            "fix the baseline") from None
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", type=Path,
-                        help="benchmark dump (BENCH_pr8.json)")
+                        help="benchmark dump (BENCH_pr9.json)")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
     parser.add_argument("--rack-baseline", type=Path,
                         default=DEFAULT_RACK_BASELINE)
+    parser.add_argument("--overload-baseline", type=Path,
+                        default=DEFAULT_OVERLOAD_BASELINE)
     parser.add_argument("--tolerance", type=float, default=0.2,
                         help="allowed fractional events/sec drop "
                              "(default 0.2 == 20%%)")
@@ -78,34 +110,47 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 2
 
+    try:
+        return _gate(args, results, baseline, speed)
+    except _MissingKey as exc:
+        print(f"check_bench_regression: {exc}", file=sys.stderr)
+        return 2
+
+
+def _gate(args, results, baseline, speed) -> int:
     failures = []
 
-    events = int(speed["events"])
-    expected_events = int(baseline["events"])
+    events = int(_require(speed, "events", "the sim_speed results"))
+    expected_events = int(_require(baseline, "events",
+                                   str(args.baseline)))
     if events != expected_events:
         failures.append(
             f"event count changed: {events} != baseline {expected_events} "
             "(the seeded event schedule moved; re-verify replay identity "
             "before updating the baseline)")
 
-    events_per_sec = float(speed["events_per_sec"])
-    floor = float(baseline["events_per_sec"]) * (1.0 - args.tolerance)
+    events_per_sec = float(_require(speed, "events_per_sec",
+                                    "the sim_speed results"))
+    baseline_eps = float(_require(baseline, "events_per_sec",
+                                  str(args.baseline)))
+    floor = baseline_eps * (1.0 - args.tolerance)
     if events_per_sec < floor:
         failures.append(
             f"events/sec regressed: {events_per_sec:,.0f} < "
             f"{floor:,.0f} ({(1.0 - args.tolerance) * 100:.0f}% of the "
-            f"{float(baseline['events_per_sec']):,.0f} baseline floor)")
+            f"{baseline_eps:,.0f} baseline floor)")
 
+    wall = float(_require(speed, "wall_per_sim_sec", "the sim_speed results"))
     print(f"sim speed: {events_per_sec:,.0f} events/s over {events:,} "
-          f"events ({float(speed['wall_per_sim_sec']):.2f} wall-s per "
-          "sim-s)")
-    print(f"baseline:  {float(baseline['events_per_sec']):,.0f} events/s "
+          f"events ({wall:.2f} wall-s per sim-s)")
+    print(f"baseline:  {baseline_eps:,.0f} events/s "
           f"floor, tolerance {args.tolerance * 100:.0f}% -> gate at "
           f"{floor:,.0f}")
 
     fleet = results.get("results", {}).get("fleet_overhead")
     if fleet is not None:
-        disabled = float(fleet["disabled_regression"])
+        disabled = float(_require(fleet, "disabled_regression",
+                                  "the fleet_overhead results"))
         print(f"fleet overhead (disabled): {disabled * 100:+.2f}% "
               f"(gate at {args.fleet_tolerance * 100:.0f}%)")
         if disabled > args.fleet_tolerance:
@@ -123,29 +168,75 @@ def main(argv=None) -> int:
             print(f"check_bench_regression: cannot read rack baseline: "
                   f"{exc}", file=sys.stderr)
             return 2
-        rack_eps = float(rack["events_per_sec"])
-        rack_floor = (float(rack_baseline["events_per_sec"])
-                      * (1.0 - args.tolerance))
-        p99 = float(rack["commit_p99_ms"])
-        ceiling = float(rack_baseline["commit_p99_ms_ceiling"])
-        print(f"rack scale: {rack['hosts']} hosts, {rack_eps:,.0f} events/s "
+        rack_src = "the rack_scale results"
+        rack_eps = float(_require(rack, "events_per_sec", rack_src))
+        rack_baseline_eps = float(_require(rack_baseline, "events_per_sec",
+                                           str(args.rack_baseline)))
+        rack_floor = rack_baseline_eps * (1.0 - args.tolerance)
+        p99 = float(_require(rack, "commit_p99_ms", rack_src))
+        ceiling = float(_require(rack_baseline, "commit_p99_ms_ceiling",
+                                 str(args.rack_baseline)))
+        converged = _require(rack, "converged", rack_src)
+        pending = int(_require(rack, "pending_after", rack_src))
+        print(f"rack scale: {_require(rack, 'hosts', rack_src)} hosts, "
+              f"{rack_eps:,.0f} events/s "
               f"(gate at {rack_floor:,.0f}), commit p99 {p99:.3f} ms "
-              f"(ceiling {ceiling:.3f}), converged={rack['converged']}")
+              f"(ceiling {ceiling:.3f}), converged={converged}")
         if rack_eps < rack_floor:
             failures.append(
                 f"rack events/sec regressed: {rack_eps:,.0f} < "
                 f"{rack_floor:,.0f} ({(1.0 - args.tolerance) * 100:.0f}% of "
-                f"the {float(rack_baseline['events_per_sec']):,.0f} "
+                f"the {rack_baseline_eps:,.0f} "
                 "baseline floor)")
         if p99 > ceiling:
             failures.append(
                 f"rack commit p99 regressed: {p99:.3f} ms > "
                 f"{ceiling:.3f} ms ceiling (sim time -- this is a real "
                 "control-plane slowdown, not machine jitter)")
-        if not rack["converged"] or int(rack["pending_after"]) != 0:
+        if not converged or pending != 0:
             failures.append(
                 "rack control plane unhealthy: converged="
-                f"{rack['converged']}, pending={rack['pending_after']}")
+                f"{converged}, pending={pending}")
+
+    overload = results.get("results", {}).get("overload")
+    if overload is not None:
+        try:
+            overload_baseline = json.loads(
+                args.overload_baseline.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"check_bench_regression: cannot read overload baseline: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+        src = "the overload results"
+        bsrc = str(args.overload_baseline)
+        recovery_on = float(_require(overload, "recovery_on", src))
+        recovery_off = float(_require(overload, "recovery_off", src))
+        surge_frac = float(_require(overload, "surge_goodput_frac_on", src))
+        on_floor = float(_require(overload_baseline, "recovery_on_floor",
+                                  bsrc))
+        off_ceiling = float(_require(overload_baseline,
+                                     "recovery_off_ceiling", bsrc))
+        surge_floor = float(_require(overload_baseline,
+                                     "surge_goodput_frac_floor", bsrc))
+        print(f"overload: recovery on={recovery_on:.3f} "
+              f"(floor {on_floor:.2f}), off={recovery_off:.3f} "
+              f"(ceiling {off_ceiling:.2f}), surge goodput "
+              f"{surge_frac:.3f}x capacity (floor {surge_floor:.2f})")
+        if recovery_on < on_floor:
+            failures.append(
+                f"goodput under overload regressed: budgets-on recovery "
+                f"{recovery_on:.3f} < {on_floor:.2f} floor (the protected "
+                "pod no longer recovers from the surge)")
+        if recovery_off > off_ceiling:
+            failures.append(
+                f"overload ablation lost its teeth: budgets-off recovery "
+                f"{recovery_off:.3f} > {off_ceiling:.2f} ceiling (the "
+                "scenario no longer demonstrates metastable collapse)")
+        if surge_frac < surge_floor:
+            failures.append(
+                f"surge-window goodput regressed: {surge_frac:.3f}x "
+                f"capacity < {surge_floor:.2f} floor (shedding is eating "
+                "useful throughput)")
 
     if failures:
         for failure in failures:

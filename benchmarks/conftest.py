@@ -7,16 +7,18 @@ whole suite finishes in minutes; set ``OASIS_SCALE=1`` for full-scale runs
 
 Benchmarks that produce headline numbers record them through the
 ``record_result`` fixture; at session end everything recorded is dumped to
-``BENCH_pr9.json`` (override the path with ``OASIS_BENCH_RESULTS``) so CI can
-archive the figures alongside the timing data.  The dump includes the
+``BENCH_pr10.json`` (override the path with ``OASIS_BENCH_RESULTS``) so CI
+can archive the figures alongside the timing data.  The dump includes the
 event-kernel headline metrics (sim events/sec, wall-clock seconds per
 simulated second) recorded by ``test_sim_speed.py``, the rack-scale
 metrics (32-host events/sec, group-commit latency) recorded by
-``test_rack_scale.py``, and the overload sweep (goodput recovery with and
-without retry budgets) recorded by ``test_overload.py``; CI compares them
-against ``benchmarks/baseline_sim_speed.json`` /
-``baseline_rack_scale.json`` / ``baseline_overload.json`` and fails the PR
-on regression.
+``test_rack_scale.py``, the overload sweep (goodput recovery with and
+without retry budgets) recorded by ``test_overload.py``, and the
+multi-tenant serving headline (victim P99 ratio, weighted-share floor)
+recorded by ``test_serve.py``; CI compares them against
+``benchmarks/baseline_sim_speed.json`` / ``baseline_rack_scale.json`` /
+``baseline_overload.json`` / ``baseline_serve.json`` and fails the PR on
+regression.
 """
 
 import json
@@ -29,7 +31,7 @@ os.environ.setdefault("OASIS_SCALE", "0.5")
 
 RESULTS_PATH = Path(os.environ.get(
     "OASIS_BENCH_RESULTS",
-    str(Path(__file__).resolve().parent.parent / "BENCH_pr9.json")))
+    str(Path(__file__).resolve().parent.parent / "BENCH_pr10.json")))
 
 _results = {}
 

@@ -1,0 +1,49 @@
+"""Benchmark: multi-tenant QoS serving under a noisy neighbour (PR 10).
+
+Headline metrics for the serving PR (not a paper figure): run the full
+``python -m repro serve`` scenario -- a latency-sensitive memcached-like
+tenant, a diurnal web tenant and a bursty background tenant sharing one
+derated SSD through per-tenant weighted-fair queueing, with the background
+tenant surging to 8x its share -- and record
+
+* ``p99_ratio``      -- the victim (mc) tenant's surge-window P99 in the
+  mix as a multiple of its solo-run P99 (same seed, same RNG substreams);
+* ``min_share_frac`` -- the worst tenant's surge-window goodput as a
+  fraction of its weighted fair share, water-filled over measured demand;
+* per-tenant goodput/shed/SLO-burn ledgers plus the WFQ and invariant
+  verdicts from both runs.
+
+Both headline numbers are ratios of simulated-time quantities, so they are
+machine independent and gated exactly (no tolerance band) by
+``tools/check_bench_regression.py`` against ``baseline_serve.json``.  The
+assertions here are the same bounds, kept loose enough to hold at any
+``OASIS_SCALE``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments.serve import run_serve
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baseline_serve.json"
+
+
+def test_serve_isolation(record_result):
+    result = run_serve()
+    baseline = json.loads(BASELINE_PATH.read_text())
+
+    record_result("serve", result)
+
+    assert result["ok"]
+    assert result["p99_ratio"] <= baseline["p99_ratio_ceiling"]
+    assert result["min_share_frac"] >= baseline["share_frac_floor"]
+    # Both runs kept their books: per-tenant conservation and the shed/retry
+    # invariants held for the whole run.
+    assert result["solo"]["invariants_ok"]
+    assert result["mix"]["invariants_ok"]
+    # The scenario really exercised isolation: the noisy neighbour shed
+    # traffic while the victim tenants shed nothing.
+    lanes = result["mix"]["frontend_tenants"]
+    assert lanes["bg"]["shed"] > 0
+    assert lanes["mc"]["shed"] == 0
+    assert lanes["web"]["shed"] == 0

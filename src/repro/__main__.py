@@ -18,7 +18,11 @@ Two observability subcommands ride along:
   (per-host/per-device utilization bars, pool stranding, firing alerts);
 * ``overload [--check] [--json]`` -- open-loop surge sweep through 1.5x
   device capacity with retry budgets/admission control on vs off
-  (budgets-off shows metastable collapse, budgets-on recovers).
+  (budgets-off shows metastable collapse, budgets-on recovers);
+* ``serve [--check] [--json]`` -- multi-tenant QoS serving: a 3-class
+  tenant mix under per-tenant weighted-fair queueing, with a noisy
+  neighbour surging to 8x its share (victim latency and weighted shares
+  are gated against the solo baseline).
 """
 
 from __future__ import annotations
@@ -44,7 +48,8 @@ def main(argv=None) -> int:
         print("       python -m repro top [--once] [--json] [--hosts N]")
         print("       python -m repro rack [--hosts N] [--pools M] [--json]")
         print("       python -m repro chaos [--seed N] [--plan plan.json]")
-        print("       python -m repro overload [--check] [--json] [--out BENCH_pr9.json]\n")
+        print("       python -m repro overload [--check] [--json] [--out BENCH_pr10.json]")
+        print("       python -m repro serve [--check] [--json] [--out BENCH_pr10.json]\n")
         print("experiments:")
         for name, (title, _) in by_name.items():
             print(f"  {name:<8} {title}")
@@ -56,6 +61,7 @@ def main(argv=None) -> int:
         print("  rack     32-host rack: echo on every host + sharded control plane")
         print("  chaos    deterministic fault injection with invariant checks")
         print("  overload surge sweep: goodput collapse vs recovery with retry budgets")
+        print("  serve    multi-tenant QoS serving: WFQ isolation vs a noisy neighbour")
         return 0
     if argv[0] == "report":
         from .obs.cli import main_report
@@ -89,6 +95,10 @@ def main(argv=None) -> int:
         from .experiments.overload import main_overload
 
         return main_overload(argv[1:])
+    if argv[0] == "serve":
+        from .experiments.serve import main_serve
+
+        return main_serve(argv[1:])
     if argv == ["all"]:
         runner.main()
         return 0

@@ -88,6 +88,10 @@ class NetFrontend(Driver):
     # the config so the TX admission gate and brownout shedding turn on.
     _overload = None
     brownout_level = 0
+    # Multi-tenant serving: enable_multi_tenant() swaps the FIFO TX queue
+    # for a per-tenant weighted-fair scheduler keyed off the ``tenant``
+    # field riding Frame.meta; None keeps the legacy paths byte-identical.
+    _tx_wfq = None
 
     def set_flows(self, flows) -> None:
         """Bind a flow registry; hot paths keep a None-or-registry alias."""
@@ -97,6 +101,31 @@ class NetFrontend(Driver):
     def enable_overload(self, overload_cfg, rng_factory=None) -> None:
         """Arm the TX admission gate and brownout frame shedding."""
         self._overload = overload_cfg
+
+    def enable_multi_tenant(self, tenants) -> None:
+        """Per-tenant weighted-fair TX scheduling (needs overload armed).
+
+        Frames tagged with ``frame.meta["tenant"]`` get their own bounded
+        TX lane (depth cap + CoDel sojourn drop) and are forwarded to the
+        backend in virtual-time weighted-fair order; untagged frames share
+        a weight-1 lane.  Off by default -- the plain FIFO path is
+        untouched until this is called.
+        """
+        if self._overload is None:
+            raise RuntimeError("enable_overload() must be armed before "
+                               "enable_multi_tenant()")
+        from ...overload import WeightedFairScheduler
+
+        cfg = self._overload
+        self._tx_wfq = WeightedFairScheduler(
+            cfg.admission_depth,
+            cfg.codel_target_ms * 1e-3,
+            cfg.codel_interval_ms * 1e-3,
+            tenants=dict(tenants))
+
+    def tenant_stats(self):
+        """Per-tenant TX scheduling counters (empty until armed)."""
+        return {} if self._tx_wfq is None else self._tx_wfq.per_tenant()
 
     def set_brownout(self, level: int) -> None:
         """Brownout hook: level >= 1 sheds low-priority frames first."""
@@ -113,7 +142,10 @@ class NetFrontend(Driver):
         """
         if self._overload is None:
             return 0.0
-        worst = len(self._tx_queue) / self._overload.admission_depth
+        if self._tx_wfq is not None:
+            worst = self._tx_wfq.saturation
+        else:
+            worst = len(self._tx_queue) / self._overload.admission_depth
         for link in self._links.values():
             occupancy = getattr(link.tx, "occupancy_cached", 0.0)
             if occupancy > worst:
@@ -158,6 +190,7 @@ class NetFrontend(Driver):
         self.tx_shed = 0
         self.tx_shed_queue_full = 0
         self.tx_shed_brownout = 0
+        self.tx_shed_sojourn = 0     # CoDel drops off a tenant TX lane
 
     # -- wiring -----------------------------------------------------------------
 
@@ -234,22 +267,40 @@ class NetFrontend(Driver):
                 self.flows.stash(region.base, flow)
         store_ns = self.domain.cache.store(region.base, data, category="payload")
         delay = self.config.datapath.ipc_hop_us * USEC + store_ns * NSEC
-        self.sim.call_after(delay, self._ipc_tx_arrive, instance.ip, region,
-                            len(data), frame.wire_size)
+        if self._tx_wfq is None:
+            self.sim.call_after(delay, self._ipc_tx_arrive, instance.ip,
+                                region, len(data), frame.wire_size)
+        else:
+            # Multi-tenant: the tenant tag rides Frame.meta across the IPC
+            # hop (the packed bytes drop frame identity).
+            self.sim.call_after(delay, self._ipc_tx_arrive, instance.ip,
+                                region, len(data), frame.wire_size,
+                                frame.meta.get("tenant") if frame.meta
+                                else None)
 
-    def _ipc_tx_arrive(self, ip: int, region: Region, packed: int, wire: int) -> None:
+    def _ipc_tx_arrive(self, ip: int, region: Region, packed: int, wire: int,
+                       tenant=None) -> None:
+        if self._tx_wfq is not None:
+            if not self._tx_wfq.push(self.sim.now, (ip, region, packed, wire),
+                                     tenant):
+                # The tenant's own TX lane is full: only its excess sheds.
+                self.tx_shed += 1
+                self.tx_shed_queue_full += 1
+                self._drop_tx_frame(ip, region)
+                return
+            if self._flows is not None:
+                flow = self._flows.peek(region.base)
+                if flow is not None:
+                    flow.stage("fe.tx", depth=len(self._tx_wfq))
+            self.kick()
+            return
         if (self._overload is not None
                 and len(self._tx_queue) >= self._overload.admission_depth):
             # Bounded admission: the frontend queue is standing-room only,
             # so shed this frame instead of growing an unbounded backlog.
             self.tx_shed += 1
             self.tx_shed_queue_full += 1
-            if self._flows is not None:
-                self._flows.pop(region.base)
-            record = self._records.get(ip)
-            if record is not None:
-                record.tx_area.free(region)
-                record.tx_dropped += 1
+            self._drop_tx_frame(ip, region)
             return
         flows = self._flows
         if flows is not None:
@@ -258,6 +309,15 @@ class NetFrontend(Driver):
                 flow.stage("fe.tx", depth=len(self._tx_queue))
         self._tx_queue.append((ip, region, packed, wire))
         self.kick()
+
+    def _drop_tx_frame(self, ip: int, region: Region) -> None:
+        """Release a shed frame's flow context and TX buffer."""
+        if self._flows is not None:
+            self._flows.pop(region.base)
+        record = self._records.get(ip)
+        if record is not None:
+            record.tx_area.free(region)
+            record.tx_dropped += 1
 
     # -- driver loop ---------------------------------------------------------------------
 
@@ -272,7 +332,7 @@ class NetFrontend(Driver):
         # with its own cost accumulator (same float grouping as the call).
         items = 0
         cost = 0.0
-        if self._tx_queue:
+        if self._tx_queue or (self._tx_wfq is not None and len(self._tx_wfq)):
             n, c = self._process_tx()
             items += n
             cost += c
@@ -322,8 +382,23 @@ class NetFrontend(Driver):
         tx_pending = self._tx_pending
         clwb_range = self.domain.cache.clwb_range
         flows = self._flows
-        while tx_queue and count < batch:
-            ip, region, packed, wire = tx_queue.popleft()
+        wfq = self._tx_wfq
+        now = self.sim.now
+        while count < batch:
+            if wfq is not None:
+                item, dropped = wfq.pop(now)
+                for dip, dregion, _dpacked, _dwire in dropped:
+                    # CoDel front-drop off an overlong tenant TX lane.
+                    self.tx_shed += 1
+                    self.tx_shed_sojourn += 1
+                    self._drop_tx_frame(dip, dregion)
+                if item is None:
+                    break
+                ip, region, packed, wire = item
+            elif tx_queue:
+                ip, region, packed, wire = tx_queue.popleft()
+            else:
+                break
             record = records.get(ip)
             if record is None:
                 continue

@@ -113,6 +113,10 @@ class CXLPod:
         self._overload_on = False
         self._overload_cfg = None
         self._load_sources: list = []
+        # Multi-tenant QoS serving (per-tenant WFQ at the frontends):
+        # armed by enable_multi_tenant(), None while off.
+        self._tenant_specs = None
+        self._tenant_clients: list = []
         self.allocator.tracer = self.tracer
         bindings.bind_pool(self.metrics, self.pool)
         bindings.bind_scraper(self.metrics, self.scraper)
@@ -153,6 +157,9 @@ class CXLPod:
         component.enable_overload(self._overload_cfg, self.rng)
         if brownout_target and self.brownout is not None:
             self.brownout.register(component)
+        if self._tenant_specs is not None and hasattr(component,
+                                                      "enable_multi_tenant"):
+            component.enable_multi_tenant(self._tenant_specs)
 
     # -- topology ------------------------------------------------------------------
 
@@ -561,6 +568,43 @@ class CXLPod:
     def register_load_source(self, client) -> None:
         """Register an open-loop generator as an ``overload.surge`` target."""
         self._load_sources.append(client)
+
+    # -- multi-tenant QoS serving (per-tenant WFQ, rate guarantees) -----------------
+
+    def enable_multi_tenant(self, tenants, overload=None):
+        """Arm per-tenant weighted-fair queueing at every frontend.
+
+        ``tenants`` maps tenant name to
+        :class:`~repro.overload.TenantSpec` (weight, optional guaranteed
+        rate).  Requires overload control -- it is armed implicitly when
+        not already on -- because WFQ replaces the single admission queue.
+        Frontends added later inherit the tenant set via the same
+        late-join hook as overload control.  Off by default: pods that
+        never call this keep the single shared queue and replay
+        byte-identically.
+        """
+        from ..overload import TenantSpec
+
+        specs = {}
+        for name, spec in tenants.items():
+            if not isinstance(spec, TenantSpec):
+                spec = TenantSpec(**spec)
+            spec.validate()
+            specs[name] = spec
+        if not self._overload_on:
+            self.enable_overload_control(overload)
+        self._tenant_specs = specs
+        for frontend in self.storage_frontends.values():
+            frontend.enable_multi_tenant(specs)
+        for frontend in self.frontends.values():
+            frontend.enable_multi_tenant(specs)
+        return specs
+
+    def register_tenant_client(self, client) -> None:
+        """Register a tenant load generator for fleet telemetry export."""
+        self._tenant_clients.append(client)
+        self._load_sources.append(client)
+        bindings.bind_tenant_client(self.metrics, client)
 
     # -- observability -----------------------------------------------------------------------
 

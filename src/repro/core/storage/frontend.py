@@ -18,7 +18,8 @@ from ...errors import AllocationError, ChannelFullError, DeviceFailedError
 from ...host.host import Host, MemDomain
 from ...mem.layout import Region, RegionAllocator
 from ...obs.flow import NULL_FLOWS
-from ...overload import AdmissionQueue, CircuitBreaker, RetryBudget
+from ...overload import (AdmissionQueue, CircuitBreaker, RetryBudget,
+                         WeightedFairScheduler)
 from ...pcie.ssd import NVME_STATUS_FAILED, NVME_STATUS_MEDIA
 from ...sim.core import MSEC, NSEC, USEC, Simulator
 from ..engine import Driver
@@ -53,21 +54,25 @@ class VirtualBlockDevice:
 
     def read(self, lba: int, nblocks: int,
              callback: Callable[[int, bytes], None], flow=None,
-             background: bool = False) -> int:
+             background: bool = False, tenant: Optional[str] = None) -> int:
         """Async read; ``callback(status, data)`` fires on completion.
 
         ``background=True`` marks shed-first work (read-ahead, scrubbing):
         under brownout the frontend drops it before any foreground request.
+        ``tenant`` tags the request for per-tenant weighted-fair scheduling
+        once the pod arms ``enable_multi_tenant()`` (inert otherwise).
         """
         return self.frontend.submit_read(self, lba, nblocks, callback,
-                                         flow=flow, background=background)
+                                         flow=flow, background=background,
+                                         tenant=tenant)
 
     def write(self, lba: int, data: bytes,
               callback: Callable[[int], None], flow=None,
-              background: bool = False) -> int:
+              background: bool = False, tenant: Optional[str] = None) -> int:
         """Async write; ``callback(status)`` fires on completion."""
         return self.frontend.submit_write(self, lba, data, callback,
-                                          flow=flow, background=background)
+                                          flow=flow, background=background,
+                                          tenant=tenant)
 
 
 class StorageFrontend(Driver):
@@ -83,6 +88,10 @@ class StorageFrontend(Driver):
     _overload = None
     _retry_rng = None
     brownout_level = 0
+    # Multi-tenant serving: None until enable_multi_tenant() swaps the
+    # single admission queue for the per-tenant WFQ; then a dict of
+    # per-tenant accounting (tenant -> counter dict).
+    _tenants = None
 
     def set_flows(self, flows) -> None:
         """Bind a flow registry; hot paths keep a None-or-registry alias."""
@@ -167,6 +176,50 @@ class StorageFrontend(Driver):
             self._retry_rng = rng_factory.get(f"overload/{self.name}/retry")
         self._overload = self._admission    # non-None alias gates hot paths
 
+    def enable_multi_tenant(self, tenants) -> None:
+        """Swap the single admission queue for per-tenant WFQ.
+
+        ``tenants`` maps tenant name to :class:`~repro.overload.TenantSpec`
+        (weight + optional token-bucket rate guarantee).  Requires
+        ``enable_overload()`` first -- the pod arms both.  Requests tagged
+        with a ``tenant`` get their own admission lane; untagged traffic
+        shares a weight-1 lane.
+        """
+        if self._overload is None:
+            raise RuntimeError("enable_overload() must be armed before "
+                               "enable_multi_tenant()")
+        cfg = self._ovl_cfg
+        self._admission = WeightedFairScheduler(
+            cfg.admission_depth,
+            cfg.codel_target_ms * 1e-3,
+            cfg.codel_interval_ms * 1e-3,
+            tenants=dict(tenants))
+        self._overload = self._admission
+        self._tenants = {}
+        for name in tenants:
+            self._tenant_stats(name)
+
+    _TENANT_STAT_KEYS = (
+        "submitted", "completed_ok", "completed_error", "shed",
+        "shed_queue_full", "shed_sojourn", "shed_breaker", "shed_brownout",
+        "gave_up", "retries", "retry_budget_denied",
+    )
+
+    def _tenant_stats(self, tenant: Optional[str]) -> dict:
+        stats = self._tenants.get(tenant)
+        if stats is None:
+            stats = self._tenants[tenant] = {
+                key: 0 for key in self._TENANT_STAT_KEYS}
+        return stats
+
+    def tenant_stats(self) -> Dict[str, dict]:
+        """Per-tenant accounting (empty until multi-tenant is armed)."""
+        if self._tenants is None:
+            return {}
+        return {name: dict(stats)
+                for name, stats in sorted(self._tenants.items(),
+                                          key=lambda kv: str(kv[0]))}
+
     def set_brownout(self, level: int) -> None:
         """Brownout hook: level >= 1 sheds background I/O at admission."""
         self.brownout_level = level
@@ -176,6 +229,8 @@ class StorageFrontend(Driver):
         """Admission-queue fullness in [0, 1] (0.0 with overload off)."""
         if self._overload is None:
             return 0.0
+        if self._tenants is not None:
+            return self._admission.saturation
         return len(self._admission) / self._ovl_cfg.admission_depth
 
     @property
@@ -208,7 +263,12 @@ class StorageFrontend(Driver):
         if self.brownout_level and state["background"]:
             self._shed(cid, state, "brownout")
             return
-        if not self._admission.push(self.sim.now, (cid, message)):
+        if self._tenants is None:
+            admitted = self._admission.push(self.sim.now, (cid, message))
+        else:
+            admitted = self._admission.push(self.sim.now, (cid, message),
+                                            state["tenant"])
+        if not admitted:
             self._shed(cid, state, "queue_full")
             return
         self._pump()
@@ -252,6 +312,10 @@ class StorageFrontend(Driver):
             self.shed_breaker += 1
         else:
             self.shed_brownout += 1
+        if self._tenants is not None:
+            stats = self._tenant_stats(state["tenant"])
+            stats["shed"] += 1
+            stats["shed_" + reason] += 1
         self._retire(cid, state, STATUS_SHED, b"")
 
     # -- fencing epochs (§3.3.3) --------------------------------------------------
@@ -283,7 +347,8 @@ class StorageFrontend(Driver):
 
     def submit_write(self, device: VirtualBlockDevice, lba: int, data: bytes,
                      callback: Callable[[int], None], flow=None,
-                     background: bool = False) -> int:
+                     background: bool = False,
+                     tenant: Optional[str] = None) -> int:
         if len(data) % device.block_size:
             raise AllocationError("write size must be a multiple of block size")
         nlb = len(data) // device.block_size
@@ -301,8 +366,10 @@ class StorageFrontend(Driver):
             "op": SOP_WRITE, "region": region, "callback": callback,
             "nbytes": len(data), "backend": device.backend_name,
             "lba": lba, "nlb": nlb, "ip": ip, "retries": 0, "attempt": 0,
-            "background": background,
+            "background": background, "tenant": tenant,
         }
+        if self._tenants is not None:
+            self._tenant_stats(tenant)["submitted"] += 1
         message = StorageMessage(SOP_WRITE, cid, lba, nlb, region.base, ip,
                                  epoch=self._stamp_for(device.backend_name, ip))
         delay = self.config.datapath.ipc_hop_us * USEC + store_ns * NSEC
@@ -319,7 +386,8 @@ class StorageFrontend(Driver):
 
     def submit_read(self, device: VirtualBlockDevice, lba: int, nblocks: int,
                     callback: Callable[[int, bytes], None], flow=None,
-                    background: bool = False) -> int:
+                    background: bool = False,
+                    tenant: Optional[str] = None) -> int:
         region = self._space.alloc(nblocks * device.block_size, "rbuf")
         if flow is not None:
             flow.stage("sfe.submit", depth=len(self._pending))
@@ -338,8 +406,10 @@ class StorageFrontend(Driver):
             "op": SOP_READ, "region": region, "callback": callback,
             "nbytes": nblocks * device.block_size, "backend": device.backend_name,
             "lba": lba, "nlb": nblocks, "ip": ip, "retries": 0, "attempt": 0,
-            "background": background,
+            "background": background, "tenant": tenant,
         }
+        if self._tenants is not None:
+            self._tenant_stats(tenant)["submitted"] += 1
         message = StorageMessage(SOP_READ, cid, lba, nblocks, region.base, ip,
                                  epoch=self._stamp_for(device.backend_name, ip))
         delay = self.config.datapath.ipc_hop_us * USEC
@@ -405,12 +475,18 @@ class StorageFrontend(Driver):
             self._breaker_for(state["backend"]).record_failure(self.sim.now)
         if state["retries"] >= self.config.retry.storage_max_retries:
             self.giveups += 1
+            if self._tenants is not None:
+                self._tenant_stats(state["tenant"])["gave_up"] += 1
             self._finish(cid, state, STATUS_TIMEOUT, b"")
             return
         if self._overload is not None and not self._budget.try_spend():
             # Retry budget exhausted: fail fast instead of feeding the storm.
             self.retry_budget_denied += 1
             self.giveups += 1
+            if self._tenants is not None:
+                stats = self._tenant_stats(state["tenant"])
+                stats["retry_budget_denied"] += 1
+                stats["gave_up"] += 1
             self._finish(cid, state, STATUS_TIMEOUT, b"")
             return
         self._schedule_retry(cid, state)
@@ -418,6 +494,8 @@ class StorageFrontend(Driver):
     def _schedule_retry(self, cid: int, state: dict) -> None:
         state["retries"] += 1
         self.retries += 1
+        if self._tenants is not None:
+            self._tenant_stats(state["tenant"])["retries"] += 1
         if self._flows is not None:
             flow = self._flows.peek(state["region"].base)
             if flow is not None:
@@ -463,6 +541,8 @@ class StorageFrontend(Driver):
                 self._schedule_retry(message.cid, state)
                 return self.ITEM_NS
             self.giveups += 1
+            if self._tenants is not None:
+                self._tenant_stats(state["tenant"])["gave_up"] += 1
             self._finish(message.cid, state, STATUS_FENCED, b"")
             return self.ITEM_NS
         if self._overload is not None:
@@ -477,7 +557,12 @@ class StorageFrontend(Driver):
                     self._schedule_retry(message.cid, state)
                     return self.ITEM_NS
                 self.retry_budget_denied += 1
+                if self._tenants is not None:
+                    self._tenant_stats(
+                        state["tenant"])["retry_budget_denied"] += 1
             self.giveups += 1
+            if self._tenants is not None:
+                self._tenant_stats(state["tenant"])["gave_up"] += 1
         cost = self.ITEM_NS
         region: Region = state["region"]
         if state["op"] == SOP_READ and message.status == 0:
@@ -498,6 +583,9 @@ class StorageFrontend(Driver):
             self.completed_ok += 1
         else:
             self.completed_error += 1
+        if self._tenants is not None:
+            self._tenant_stats(state["tenant"])[
+                "completed_ok" if status == 0 else "completed_error"] += 1
         self._retire(cid, state, status, data)
 
     def _retire(self, cid: int, state: dict, status: int, data: bytes) -> None:

@@ -304,6 +304,36 @@ class InvariantChecker:
                     f"{frontend.completed_error} err + {frontend.shed} shed "
                     f"+ {len(frontend._pending)} in flight",
                 )
+            self._check_tenant_conservation(frontend)
+
+    def _check_tenant_conservation(self, frontend) -> None:
+        """The shed-conservation books must also balance *per tenant*.
+
+        With multi-tenant WFQ armed the frontend keeps per-tenant counters;
+        a request charged to the wrong tenant's lane would keep the
+        aggregate identity intact while breaking isolation accounting, so
+        each tenant's ledger is checked on its own:
+        ``submitted == completed_ok + completed_error + shed + pending``.
+        """
+        if frontend._tenants is None:
+            return
+        pending: dict = {}
+        for state in frontend._pending.values():
+            tenant = state.get("tenant")
+            pending[tenant] = pending.get(tenant, 0) + 1
+        for tenant, stats in frontend.tenant_stats().items():
+            self._checked("tenant-conservation")
+            in_flight = pending.get(tenant, 0)
+            accounted = (stats["completed_ok"] + stats["completed_error"]
+                         + stats["shed"] + in_flight)
+            if stats["submitted"] != accounted:
+                self.violate(
+                    "tenant-conservation",
+                    f"{frontend.name}/{tenant}: submitted "
+                    f"{stats['submitted']} != {stats['completed_ok']} ok + "
+                    f"{stats['completed_error']} err + {stats['shed']} shed "
+                    f"+ {in_flight} in flight",
+                )
 
     # -- final evaluation ------------------------------------------------------
 

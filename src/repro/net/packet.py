@@ -144,4 +144,8 @@ class Frame:
             flow = self.meta.get("flow")
             if flow is not None:
                 reply.meta["flow"] = flow
+            tenant = self.meta.get("tenant")
+            if tenant is not None:
+                # The reply leg bills against the requesting tenant's lane.
+                reply.meta["tenant"] = tenant
         return reply

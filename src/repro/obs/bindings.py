@@ -248,7 +248,8 @@ _DRIVER_EXTRA_FIELDS = (
     # overload control: admission/shedding, retry budgets, circuit breakers
     "submitted", "shed", "shed_queue_full", "shed_sojourn", "shed_breaker",
     "shed_brownout", "retry_budget_denied", "breaker_trips", "breakers_open",
-    "tx_shed", "tx_shed_queue_full", "tx_shed_brownout", "brownout_level",
+    "tx_shed", "tx_shed_queue_full", "tx_shed_sojourn", "tx_shed_brownout",
+    "brownout_level",
 )
 
 
@@ -270,6 +271,30 @@ def bind_driver(registry: MetricsRegistry, driver) -> None:
             # this into queue saturation vs the configured depth.
             yield _sample("device_queue_depth", depth,
                           device=driver.device_name)
+
+    registry.register_collector(collect)
+
+
+def bind_tenant_client(registry: MetricsRegistry, client) -> None:
+    """Export a tenant load generator's request counters.
+
+    One ``tenant_requests`` family keyed by (tenant, result); fleet health
+    turns the deltas into per-tenant SLO-burn and shed-rate gauges.
+    """
+
+    def collect():
+        tenant = client.tenant
+        stats = client.stats
+        yield _sample("tenant_requests", stats.submitted,
+                      tenant=tenant, result="submitted")
+        yield _sample("tenant_requests", stats.completed_ok,
+                      tenant=tenant, result="ok")
+        yield _sample("tenant_requests", stats.shed,
+                      tenant=tenant, result="shed")
+        yield _sample("tenant_requests", stats.errors,
+                      tenant=tenant, result="error")
+        yield _sample("tenant_requests", client.slo_violations,
+                      tenant=tenant, result="slo_violation")
 
     registry.register_collector(collect)
 

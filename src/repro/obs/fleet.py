@@ -342,6 +342,13 @@ DEFAULT_ALERT_RULES: Tuple[AlertRule, ...] = (
     AlertRule("overload_brownout", "brownout", 1.0, for_s=0.0,
               clear_below=1.0,
               help="frontend in brownout: low-priority work is being shed"),
+    # Multi-tenant serving (PR 10): one tenant burning its latency SLO.
+    # The gauge family only exists once a pod registers tenant clients, so
+    # the rule is inert for every non-serving run.
+    AlertRule("tenant_slo_burn", "tenant_slo_burn", 0.5, for_s=0.050,
+              clear_below=0.25,
+              help="tenant's latency SLO violated on >50% of recent "
+                   "completions"),
 )
 
 
@@ -493,6 +500,9 @@ class FleetHealth:
             rules if rules is not None else DEFAULT_ALERT_RULES,
             tracer=tracer, registry=registry)
         self._slo_ewma = Ewma(slo_tau_s)
+        self._slo_tau_s = slo_tau_s
+        #: per-tenant SLO-burn EWMAs (created lazily as tenants appear)
+        self._tenant_burn: Dict[str, Ewma] = {}
         self._prev = None
         self.ticks = 0
         self.time = 0.0
@@ -529,6 +539,7 @@ class FleetHealth:
         self._ingest_pools(t, snapshot)
         self._ingest_control(t, dt, delta)
         self._ingest_overload(t, dt, snapshot, delta)
+        self._ingest_tenants(t, dt, delta)
         self._ingest_slo(t)
         self.alerts.evaluate(t, {key: series.last
                                  for key, series in self.gauges.items()})
@@ -634,6 +645,39 @@ class FleetHealth:
             if op == "brownout_level":
                 self._observe("brownout", driver, t, level)
 
+    def _ingest_tenants(self, t: float, dt: float, delta) -> None:
+        """Per-tenant serving gauges off the ``tenant_requests`` family.
+
+        ``tenant_slo_burn`` is the EWMA'd fraction of this tick's ok
+        completions that blew the tenant's latency SLO (feeding the
+        ``tenant_slo_burn`` alert rule); ``tenant_shed_rate`` is the
+        tenant's sheds/s.  The family only exists once a pod registers
+        tenant clients (``register_tenant_client``), so non-serving runs
+        never grow these gauges and the alert rule stays inert.
+        """
+        requests = delta.aggregate("tenant_requests", by=("tenant", "result"))
+        if not requests:
+            return
+        per_tenant: Dict[str, Dict[str, float]] = {}
+        for (tenant, result), count in requests.items():
+            per_tenant.setdefault(tenant, {})[result] = count
+        for tenant, results in sorted(per_tenant.items()):
+            ok = results.get("ok", 0.0)
+            ewma = self._tenant_burn.get(tenant)
+            if ewma is None:
+                ewma = self._tenant_burn[tenant] = Ewma(self._slo_tau_s)
+            if ok > 0:
+                burn = min(1.0, results.get("slo_violation", 0.0) / ok)
+                self._observe("tenant_slo_burn", tenant, t,
+                              ewma.update(t, burn))
+            elif ewma.value is not None:
+                # No completions this tick: decay toward the last level so
+                # a stalled tenant's burn gauge does not freeze mid-alert.
+                self._observe("tenant_slo_burn", tenant, t,
+                              ewma.update(t, ewma.value))
+            self._observe("tenant_shed_rate", tenant, t,
+                          results.get("shed", 0.0) / dt)
+
     def _ingest_slo(self, t: float) -> None:
         if self.slo is None or self.flows is None:
             return
@@ -709,6 +753,21 @@ class HealthView:
                  for (family, entity), series in self.fleet.gauges.items()
                  if family == "queue_saturation"}
         return table if device is None else table.get(device, 0.0)
+
+    # -- tenants (multi-tenant serving) ------------------------------------
+
+    def tenant_slo_burn(self, tenant: Optional[str] = None):
+        """EWMA'd fraction of each tenant's completions blowing its SLO."""
+        table = {entity: series.last
+                 for (family, entity), series in self.fleet.gauges.items()
+                 if family == "tenant_slo_burn"}
+        return table if tenant is None else table.get(tenant, 0.0)
+
+    def tenant_shed_rate(self, tenant: Optional[str] = None):
+        table = {entity: series.last
+                 for (family, entity), series in self.fleet.gauges.items()
+                 if family == "tenant_shed_rate"}
+        return table if tenant is None else table.get(tenant, 0.0)
 
     # -- alerts ------------------------------------------------------------
 

@@ -15,6 +15,10 @@ building blocks both engine frontends thread in when
 * :class:`~repro.overload.brownout.BrownoutController` -- watches the fleet
   ``HealthView`` queue-saturation gauges and tells frontends to shed
   background/low-priority work first (graceful brownout).
+* :class:`~repro.overload.wfq.WeightedFairScheduler` -- virtual-time
+  weighted-fair queueing over per-tenant admission queues, plus
+  :class:`~repro.overload.wfq.TokenBucket` rate guarantees, for the
+  multi-tenant serving layer (``python -m repro serve``).
 
 Everything here is deterministic: the only randomness (breaker probe
 jitter, optional retry backoff jitter) comes from dedicated
@@ -26,6 +30,8 @@ from .admission import AdmissionQueue
 from .breaker import CircuitBreaker
 from .brownout import BrownoutController
 from .budget import RetryBudget
+from .wfq import TenantSpec, TokenBucket, WeightedFairScheduler
 
 __all__ = ["AdmissionQueue", "CircuitBreaker", "BrownoutController",
-           "RetryBudget"]
+           "RetryBudget", "TenantSpec", "TokenBucket",
+           "WeightedFairScheduler"]

@@ -70,10 +70,14 @@ class AdmissionQueue:
             shed.append(self._q.popleft()[1])
             self.shed_sojourn += 1
         if not self._q:
+            # Canonical CoDel: leaving the drop state when the queue drains
+            # -- a later burst must re-earn a full interval_s standing-queue
+            # observation before any front drop.
+            self._first_above = None
             return None, shed
         enqueued, item = self._q.popleft()
-        if now - enqueued < self.target_s:
-            self._first_above = None    # queue is healthy again
+        if not self._q or now - enqueued < self.target_s:
+            self._first_above = None    # drained, or healthy again
         return item, shed
 
     def drain(self) -> List[Any]:

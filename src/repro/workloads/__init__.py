@@ -10,7 +10,9 @@ from .allocation import (
 from .apps import APP_PROFILES, AppClient, AppProfile, AppServer
 from .blockio import BlockWorkload, BlockWorkloadStats
 from .echo import EchoClient, EchoServer, EchoStats
+from .openloop import OpenLoopBlockClient, OpenLoopStats
 from .replay import ReplayResult, TraceReplayClient, run_trace_replay
+from .tenants import SERVE_PROFILES, TenantClient, TenantProfile
 from .stranding import (
     PoolingResult,
     pooled_stranding,
@@ -41,6 +43,11 @@ __all__ = [
     "APP_PROFILES",
     "BlockWorkload",
     "BlockWorkloadStats",
+    "OpenLoopBlockClient",
+    "OpenLoopStats",
+    "TenantProfile",
+    "TenantClient",
+    "SERVE_PROFILES",
     "TraceParams",
     "PacketTrace",
     "generate_trace",

@@ -23,15 +23,25 @@ ECHO_PORT = 7
 
 
 class EchoServer:
-    """Echoes every datagram back to its sender."""
+    """Echoes every datagram back to its sender.
 
-    def __init__(self, sim: Simulator, endpoint, port: int = ECHO_PORT):
+    ``tenant`` tags each reply's ``Frame.meta`` so an instance-side echo
+    service bills its TX traffic against that tenant's WFQ lane at the net
+    frontend (wire bytes drop ``meta``, so the tag must be applied on the
+    sending side of the instance TX path).
+    """
+
+    def __init__(self, sim: Simulator, endpoint, port: int = ECHO_PORT,
+                 tenant: Optional[str] = None):
         self.sock = UdpSocket(sim, endpoint, port)
         self.sock.on_datagram(self._on_datagram)
         self.echoed = 0
+        self.tenant = tenant
 
     def _on_datagram(self, frame: Frame) -> None:
         self.echoed += 1
+        if self.tenant is not None:
+            frame.meta["tenant"] = self.tenant
         self.sock.reply(frame)
 
 
@@ -90,6 +100,7 @@ class EchoClient:
         metrics=None,
         flows=None,
         name: str = "echo-client",
+        tenant: Optional[str] = None,
     ):
         self.sim = sim
         self.endpoint = endpoint
@@ -103,6 +114,9 @@ class EchoClient:
         self.sock.on_datagram(self._on_reply)
         self.stats = EchoStats()
         self.name = name
+        # Multi-tenant serving: tag outbound frames so the net frontend's
+        # per-tenant WFQ lanes can classify them (None -> untagged lane).
+        self.tenant = tenant
         # When a pod's MetricsRegistry is passed in, RTTs are also observed
         # into an "echo_rtt_us" histogram (keep_raw), so experiments can
         # compute exact percentiles from the registry.
@@ -156,6 +170,8 @@ class EchoClient:
         self.stats.send_times.append(self.sim.now)
         frame = self.sock.sendto(payload, self.server_ip, self.server_port,
                                  wire_size=self.packet_size, seq=seq)
+        if self.tenant is not None:
+            frame.meta["tenant"] = self.tenant
         flow = self.flows.start("echo", origin=self.name, stage="client.tx",
                                 seq=seq)
         if flow is not None:

@@ -51,27 +51,49 @@ class OpenLoopStats:
         self.shed = 0
         self.errors = 0
         self.latencies_us: List[float] = []
+        # Completions landing after the last bin's right edge (requests in
+        # flight when the run window closed).  They still count in the
+        # totals above, but folding them into the final bin would inflate
+        # its goodput/latency -- and the recovery headline measured there.
+        self.late_goodput = 0
+        self.late_shed = 0
+        self.late_errors = 0
 
-    def _bin(self, t: float) -> int:
-        return min(len(self.offered) - 1, max(0, int(t / self.bin_s)))
+    def _bin(self, t: float) -> Optional[int]:
+        """Bin index for time ``t``; None once ``t`` is past the last bin."""
+        index = int(t / self.bin_s)
+        if index >= len(self.offered):
+            return None
+        return max(0, index)
 
     def on_submit(self, t: float) -> None:
         self.submitted += 1
-        self.offered[self._bin(t)] += 1
+        index = self._bin(t)
+        if index is not None:
+            self.offered[index] += 1
 
     def on_complete(self, t: float, status: int, latency_us: float) -> None:
         index = self._bin(t)
         if status == 0:
             self.completed_ok += 1
-            self.goodput[index] += 1
-            self._latency_sum[index] += latency_us
             self.latencies_us.append(latency_us)
+            if index is None:
+                self.late_goodput += 1
+            else:
+                self.goodput[index] += 1
+                self._latency_sum[index] += latency_us
         elif status == STATUS_SHED:
             self.shed += 1
-            self.shed_bins[index] += 1
+            if index is None:
+                self.late_shed += 1
+            else:
+                self.shed_bins[index] += 1
         else:
             self.errors += 1
-            self.error_bins[index] += 1
+            if index is None:
+                self.late_errors += 1
+            else:
+                self.error_bins[index] += 1
 
     def mean_latency_us(self, index: int) -> float:
         count = self.goodput[index]
@@ -81,8 +103,15 @@ class OpenLoopStats:
         return self.goodput[index] / self.bin_s
 
     def window_goodput_iops(self, t0: float, t1: float) -> float:
-        """Mean ok-completions/s over the window [t0, t1)."""
-        lo, hi = self._bin(t0), max(self._bin(t0) + 1, self._bin(t1))
+        """Mean ok-completions/s over the window [t0, t1).
+
+        The window is clamped to the binned range and the divisor is the
+        *clamped* span, so a window reaching past the last bin's edge no
+        longer averages over bins it never summed.
+        """
+        nbins = len(self.goodput)
+        lo = min(max(0, int(t0 / self.bin_s)), nbins - 1)
+        hi = max(lo + 1, min(nbins, int(math.ceil(t1 / self.bin_s))))
         total = sum(self.goodput[lo:hi])
         return total / ((hi - lo) * self.bin_s)
 
@@ -93,6 +122,9 @@ class OpenLoopStats:
             "completed_ok": self.completed_ok,
             "shed": self.shed,
             "errors": self.errors,
+            "late_goodput": self.late_goodput,
+            "late_shed": self.late_shed,
+            "late_errors": self.late_errors,
             "p50_us": float(np.percentile(lat, 50)) if lat else 0.0,
             "p99_us": float(np.percentile(lat, 99)) if lat else 0.0,
             "bin_s": self.bin_s,
@@ -107,6 +139,10 @@ class OpenLoopStats:
 
 class OpenLoopBlockClient:
     """Rate-driven block I/O source; offered load is seed-deterministic."""
+
+    #: tenant tag for per-tenant WFQ (None keeps the legacy shared lane);
+    #: set by the TenantClient subclass, never by plain overload runs.
+    tenant: Optional[str] = None
 
     def __init__(
         self,
@@ -165,7 +201,12 @@ class OpenLoopBlockClient:
     # -- lifecycle ---------------------------------------------------------
 
     def start(self, duration: float) -> None:
+        # Reset every per-run mutable: a client restarted after an
+        # ``overload.surge`` fault must not keep the surged multiplier, and
+        # completions from a previous run must not count against this one.
         self.stats = OpenLoopStats(self.bin_s, duration)
+        self.rate_mult = 1.0
+        self._inflight = 0
         self._stopped = False
         self.sim.schedule(0.0, self._arrival_loop)
         if self.burst_rate_per_s > 0:
@@ -216,12 +257,12 @@ class OpenLoopBlockClient:
             self.device.read(
                 lba, self.io_blocks,
                 lambda status, data, s=start: self._complete(status, s),
-                background=background)
+                background=background, tenant=self.tenant)
         else:
             self.device.write(
                 lba, self._write_payload,
                 lambda status, s=start: self._complete(status, s),
-                background=background)
+                background=background, tenant=self.tenant)
 
     def _complete(self, status: int, started: float) -> None:
         self._inflight -= 1

@@ -31,7 +31,7 @@ from repro.experiments.overload import run_overload
 from repro.faults import FaultPlan
 from repro.net.packet import Frame, make_ip
 from repro.workloads.echo import EchoClient
-from repro.workloads.openloop import OpenLoopBlockClient
+from repro.workloads.openloop import OpenLoopBlockClient, OpenLoopStats
 
 SWEEP_KW = dict(seed=11, pre_s=0.2, surge_s=0.15, post_s=0.3)
 
@@ -109,6 +109,61 @@ class TestDisabledByDefault:
         assert frontend.breaker_trips == 0
         assert client.stats.shed == 0
         assert conservation_holds(frontend)
+
+
+class TestOpenLoopStatsBinning:
+    """Regressions: completions past the run window must not fold into the
+    last bin, and windowed goodput must divide by the clamped span."""
+
+    def test_late_completions_do_not_inflate_the_last_bin(self):
+        stats = OpenLoopStats(bin_s=0.01, duration_s=0.1)
+        stats.on_complete(0.095, 0, 50.0)     # inside the last bin
+        stats.on_complete(0.25, 0, 5000.0)    # long after the run window
+        assert stats.completed_ok == 2        # totals still count it...
+        assert stats.goodput[-1] == 1         # ...the tail bin does not
+        assert stats.late_goodput == 1
+        # Pre-fix the 5 ms straggler also polluted the bin's mean latency.
+        assert stats.mean_latency_us(len(stats.goodput) - 1) == 50.0
+
+    def test_late_shed_and_errors_tracked_separately(self):
+        from repro.core.storage.frontend import STATUS_SHED, STATUS_TIMEOUT
+        stats = OpenLoopStats(bin_s=0.01, duration_s=0.1)
+        stats.on_complete(0.15, STATUS_SHED, 1.0)
+        stats.on_complete(0.15, STATUS_TIMEOUT, 1.0)
+        assert stats.shed == 1 and stats.errors == 1
+        assert sum(stats.shed_bins) == 0 and sum(stats.error_bins) == 0
+        assert stats.late_shed == 1 and stats.late_errors == 1
+
+    def test_window_span_is_clamped_at_the_array_edge(self):
+        stats = OpenLoopStats(bin_s=0.01, duration_s=0.1)
+        stats.on_complete(0.095, 0, 10.0)     # one completion, in bin 9
+        # A window reaching past the last bin edge: pre-fix this summed
+        # bins [5, 9) -- missing the completion -- yet divided by the
+        # unclamped span, reporting 0 IOPS instead of 20.
+        assert stats.window_goodput_iops(0.05, 0.2) == pytest.approx(20.0)
+        # The experiments' final window [t, duration) includes the last bin.
+        assert stats.window_goodput_iops(0.05, 0.1) == pytest.approx(20.0)
+
+
+class TestOpenLoopRestartReset:
+    def test_start_resets_surge_multiplier_and_inflight(self):
+        """Regression: a client restarted after an ``overload.surge`` fault
+        kept the surged rate (and stale in-flight count) from the prior run."""
+        pod, _h1, _ssd, device = build_storage_pod()
+        client = OpenLoopBlockClient(pod.sim, device, rate_iops=2000.0,
+                                     rng=pod.rng.get("t/openloop"))
+        client.start(0.05)
+        client.set_rate_multiplier(8.0)       # the overload.surge fault hook
+        pod.run(0.02)                         # stop mid-run: work in flight
+        assert client.effective_rate == pytest.approx(16000.0)
+        client._stop()
+        client.start(0.05)                    # restart after the fault
+        assert client.rate_mult == 1.0
+        assert client.effective_rate == pytest.approx(2000.0)
+        assert client.inflight == 0
+        pod.run(0.2)
+        pod.stop()
+        assert client.stats.completed_ok > 0
 
 
 class TestBreakerOnSickDevice:

@@ -201,3 +201,41 @@ class TestAdmissionQueueProperties:
         assert dropped == list(range(1, 10))
         assert item == 99
         assert queue.shed_sojourn == len(dropped)
+
+    def test_drop_state_resets_when_the_queue_drains_empty(self):
+        """Regression: stale ``_first_above`` must not survive an idle gap.
+
+        A burst whose head momentarily exceeds ``target_s`` arriving after
+        the queue drained empty must get a *fresh* ``interval_s``
+        standing-queue observation, not an instant front-drop against drop
+        state left over from the previous burst.
+        """
+        queue = AdmissionQueue(depth=64, target_s=0.005, interval_s=0.025)
+        # First burst: head breaches target (starting the CoDel clock) and
+        # is then served, draining the queue empty.
+        queue.push(0.0, "old")
+        item, dropped = queue.pop(0.006)      # sojourn 6 ms > target
+        assert item == "old" and dropped == []
+        assert len(queue) == 0
+        # Long idle gap, then a fresh burst whose head also waits 6 ms.
+        queue.push(1.000, "fresh")
+        item, dropped = queue.pop(1.006)
+        # Pre-fix: _first_above was still 0.006, so 1.006 - 0.006 >> 25 ms
+        # front-dropped "fresh" instantly.  Canonical CoDel serves it.
+        assert item == "fresh"
+        assert dropped == []
+        assert queue.shed_sojourn == 0
+
+    def test_drop_state_resets_after_codel_drains_the_queue(self):
+        """Front-dropping the whole backlog also exits the drop state."""
+        queue = AdmissionQueue(depth=64, target_s=0.005, interval_s=0.025)
+        for i in range(4):
+            queue.push(0.0, i)
+        item, dropped = queue.pop(0.010)      # starts the CoDel clock
+        assert item == 0 and dropped == []
+        item, dropped = queue.pop(0.040)      # standing queue: drains it
+        assert item is None and dropped == [1, 2, 3]
+        assert len(queue) == 0
+        queue.push(0.500, "next")
+        item, dropped = queue.pop(0.506)
+        assert item == "next" and dropped == []

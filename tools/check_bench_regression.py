@@ -3,7 +3,7 @@
 
 Usage::
 
-    python tools/check_bench_regression.py BENCH_pr9.json \
+    python tools/check_bench_regression.py BENCH_pr10.json \
         [--baseline benchmarks/baseline_sim_speed.json] [--tolerance 0.2]
 
 Reads the ``sim_speed`` entry that ``benchmarks/test_sim_speed.py`` records
@@ -42,6 +42,15 @@ surge-window goodput must stay above ``surge_goodput_frac_floor`` of
 device capacity.  All three are simulated-time ratios, so the gates are
 exact -- no tolerance band.
 
+When the dump carries a ``serve`` entry (recorded by
+``benchmarks/test_serve.py`` or ``python -m repro serve --out``), it is
+gated against ``benchmarks/baseline_serve.json``: the victim tenant's
+noisy-neighbour ``p99_ratio`` must stay under ``p99_ratio_ceiling`` of its
+solo baseline, the worst tenant's ``min_share_frac`` must stay above
+``share_frac_floor`` of its weighted fair share, and both runs' per-tenant
+conservation invariants must have held.  Like the overload gates these are
+simulated-time ratios, enforced exactly.
+
 A missing key in either the dump or a baseline is reported by name and
 exits 2 (malformed inputs), never as a raw traceback.
 
@@ -61,6 +70,8 @@ DEFAULT_RACK_BASELINE = (Path(__file__).resolve().parent.parent
                          / "benchmarks" / "baseline_rack_scale.json")
 DEFAULT_OVERLOAD_BASELINE = (Path(__file__).resolve().parent.parent
                              / "benchmarks" / "baseline_overload.json")
+DEFAULT_SERVE_BASELINE = (Path(__file__).resolve().parent.parent
+                          / "benchmarks" / "baseline_serve.json")
 
 
 class _MissingKey(Exception):
@@ -81,12 +92,14 @@ def _require(mapping, key, source):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("results", type=Path,
-                        help="benchmark dump (BENCH_pr9.json)")
+                        help="benchmark dump (BENCH_pr10.json)")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
     parser.add_argument("--rack-baseline", type=Path,
                         default=DEFAULT_RACK_BASELINE)
     parser.add_argument("--overload-baseline", type=Path,
                         default=DEFAULT_OVERLOAD_BASELINE)
+    parser.add_argument("--serve-baseline", type=Path,
+                        default=DEFAULT_SERVE_BASELINE)
     parser.add_argument("--tolerance", type=float, default=0.2,
                         help="allowed fractional events/sec drop "
                              "(default 0.2 == 20%%)")
@@ -237,6 +250,44 @@ def _gate(args, results, baseline, speed) -> int:
                 f"surge-window goodput regressed: {surge_frac:.3f}x "
                 f"capacity < {surge_floor:.2f} floor (shedding is eating "
                 "useful throughput)")
+
+    serve = results.get("results", {}).get("serve")
+    if serve is not None:
+        try:
+            serve_baseline = json.loads(args.serve_baseline.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"check_bench_regression: cannot read serve baseline: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+        src = "the serve results"
+        bsrc = str(args.serve_baseline)
+        p99_ratio = float(_require(serve, "p99_ratio", src))
+        share_frac = float(_require(serve, "min_share_frac", src))
+        p99_ceiling = float(_require(serve_baseline, "p99_ratio_ceiling",
+                                     bsrc))
+        share_floor = float(_require(serve_baseline, "share_frac_floor",
+                                     bsrc))
+        solo_ok = _require(_require(serve, "solo", src), "invariants_ok",
+                           src)
+        mix_ok = _require(_require(serve, "mix", src), "invariants_ok", src)
+        print(f"serve: victim p99 ratio {p99_ratio:.3f} "
+              f"(ceiling {p99_ceiling:.2f}), min share frac "
+              f"{share_frac:.3f} (floor {share_floor:.2f}), "
+              f"invariants solo={solo_ok} mix={mix_ok}")
+        if p99_ratio > p99_ceiling:
+            failures.append(
+                f"tenant isolation regressed: victim p99 ratio "
+                f"{p99_ratio:.3f} > {p99_ceiling:.2f} ceiling (the noisy "
+                "neighbour is leaking latency into the victim tenant)")
+        if share_frac < share_floor:
+            failures.append(
+                f"weighted shares regressed: min share frac "
+                f"{share_frac:.3f} < {share_floor:.2f} floor (a tenant no "
+                "longer receives its weighted fair share at saturation)")
+        if not solo_ok or not mix_ok:
+            failures.append(
+                "per-tenant conservation violated during the serve runs "
+                f"(solo ok={solo_ok}, mix ok={mix_ok})")
 
     if failures:
         for failure in failures:
